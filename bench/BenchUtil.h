@@ -1,0 +1,43 @@
+//===- bench/BenchUtil.h - Shared helpers for experiment benches ----------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small formatting helpers shared by the per-figure benchmark binaries.
+/// Each binary regenerates one table/figure of the paper's evaluation at
+/// reduced scale (see DESIGN.md's experiment index) and prints the same
+/// rows/series the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_BENCH_BENCHUTIL_H
+#define DC_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dcbench {
+
+inline void banner(const std::string &Title) {
+  std::printf("\n==== %s ====\n", Title.c_str());
+}
+
+inline void row(const std::string &Label, double Value,
+                const char *Unit = "") {
+  std::printf("  %-34s %8.3f %s\n", Label.c_str(), Value, Unit);
+}
+
+inline void note(const std::string &Text) {
+  std::printf("  %s\n", Text.c_str());
+}
+
+inline double percent(int Num, int Den) {
+  return Den == 0 ? 0.0 : 100.0 * Num / Den;
+}
+
+} // namespace dcbench
+
+#endif // DC_BENCH_BENCHUTIL_H

@@ -1,0 +1,61 @@
+//===- bench/bench_speedup_minibatch.cpp - Minibatch wake speedup ---------===//
+//
+// §5's convergence-speed claim: DreamCoder random-minibatches tasks during
+// waking and converges with far less compute than EC2's solve-everything
+// wake phase (a 6x speedup on list/text, 15x on regression in the paper).
+// Here: total wake search effort (candidate expansions) needed to reach
+// the same cumulative train-solve level, batched vs full-corpus.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/WakeSleep.h"
+#include "domains/ListDomain.h"
+
+using namespace dc;
+using namespace dcbench;
+
+int main() {
+  banner("Minibatched vs full-corpus waking (list domain)");
+  long NodesBatched = 0, NodesFull = 0;
+  int SolvedBatched = 0, SolvedFull = 0;
+  for (bool Batched : {true, false}) {
+    DomainSpec D = makeListDomain(1);
+    // Equalize total search effort: the batched condition wakes twice as
+    // often on half the corpus with half the per-wake budget, so both
+    // conditions spend the same node total — the batched one just gets
+    // twice as many abstraction-sleep phases out of it (the paper's
+    // argument for why batching converges with less compute).
+    D.Search.NodeBudget = Batched ? 75000 : 150000;
+    WakeSleepConfig C;
+    C.Variant = SystemVariant::NoRecognition;
+    C.Iterations = Batched ? 4 : 2;
+    C.MinibatchSize = Batched ? static_cast<int>(D.TrainTasks.size()) / 2
+                              : 0;
+    C.EvaluateTestEachCycle = false;
+    C.Seed = 17;
+    WakeSleepResult R = runWakeSleep(D, C);
+    long Nodes = 0;
+    for (const CycleMetrics &M : R.Cycles)
+      Nodes += M.WakeNodesExpanded;
+    if (Batched) {
+      NodesBatched = Nodes;
+      SolvedBatched = R.trainSolved();
+    } else {
+      NodesFull = Nodes;
+      SolvedFull = R.trainSolved();
+    }
+  }
+  std::printf("  %-26s %16s %14s\n", "wake strategy", "train solved",
+              "search nodes");
+  std::printf("  %-26s %16d %14ld\n", "minibatched (paper)", SolvedBatched,
+              NodesBatched);
+  std::printf("  %-26s %16d %14ld\n", "full corpus (EC2-style)", SolvedFull,
+              NodesFull);
+  if (NodesBatched > 0)
+    row("search-effort ratio (full/batched)",
+        static_cast<double>(NodesFull) / NodesBatched, "x");
+  note("(paper shape: batching reaches comparable solving with less");
+  note(" search per unit of library-learning progress)");
+  return 0;
+}

@@ -1,0 +1,226 @@
+//===- core/Enumeration.cpp - Type-directed enumerative search ------------===//
+
+#include "core/Enumeration.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+using namespace dc;
+
+namespace {
+
+constexpr double NegInf = -std::numeric_limits<double>::infinity();
+
+/// Persistent typing environment: a stack-allocated linked list so that
+/// continuations capture the environment as of their creation point. A
+/// mutable vector would leak the binders of an already-completed sibling
+/// subtree into later arguments (shifting their de Bruijn indices).
+struct TypeEnv {
+  TypePtr Ty;
+  const TypeEnv *Outer;
+};
+
+std::vector<TypePtr> envToVector(const TypeEnv *Env) {
+  std::vector<TypePtr> Out;
+  for (const TypeEnv *Cur = Env; Cur; Cur = Cur->Outer)
+    Out.push_back(Cur->Ty);
+  std::reverse(Out.begin(), Out.end()); // outermost-first, as candidates()
+  return Out;
+}
+
+/// Recursive enumerator core. Emits (program, cost, context) triples for
+/// every program of \p Request with cost < \p Budget. Returns false when
+/// the emit callback aborted the search.
+class Enumerator {
+public:
+  Enumerator(const EnumerationSource &Src, long &Nodes) : Src(Src),
+                                                          Nodes(Nodes) {}
+
+  using Sink = std::function<bool(ExprPtr, double, TypeContext &)>;
+
+  /// Enumerates at \p Request with remaining budget \p Budget (nats).
+  bool enumerate(int ParentIdx, int ArgIdx, TypeContext &Ctx,
+                 const TypeEnv *Env, const TypePtr &Request, double Budget,
+                 const Sink &Emit) {
+    if (Budget <= 0)
+      return true;
+    TypePtr Req = Ctx.resolve(Request);
+
+    if (Req->isArrow()) {
+      TypeEnv Frame{Req->arrowArgument(), Env};
+      return enumerate(ParentIdx, ArgIdx, Ctx, &Frame, Req->arrowResult(),
+                       Budget,
+                       [&](ExprPtr Body, double Cost, TypeContext &BodyCtx) {
+                         return Emit(Expr::abstraction(Body), Cost, BodyCtx);
+                       });
+    }
+
+    std::vector<GrammarCandidate> Cands =
+        Src.candidates(ParentIdx, ArgIdx, Req, envToVector(Env), Ctx);
+    for (GrammarCandidate &C : Cands) {
+      double Cost = -C.LogProb;
+      if (Cost >= Budget)
+        continue;
+      if (--Nodes <= 0)
+        return false;
+      int ChildParent =
+          C.ProductionIdx >= 0 ? C.ProductionIdx : ParentVariable;
+      std::vector<TypePtr> ArgTypes = functionArguments(C.Ty);
+      if (!enumerateApplication(ChildParent, C.Ctx, Env, C.Leaf, Cost,
+                                ArgTypes, 0, Budget, Emit))
+        return false;
+    }
+    return true;
+  }
+
+private:
+  /// Fills argument holes of \p Fn left to right. \p Env is the environment
+  /// at the spine's decision point — inner binders of earlier arguments are
+  /// not in scope here.
+  bool enumerateApplication(int ChildParent, TypeContext &Ctx,
+                            const TypeEnv *Env, ExprPtr Fn, double CostSoFar,
+                            const std::vector<TypePtr> &ArgTypes, size_t Idx,
+                            double Budget, const Sink &Emit) {
+    if (Idx == ArgTypes.size())
+      return Emit(Fn, CostSoFar, Ctx);
+    return enumerate(
+        ChildParent, static_cast<int>(Idx), Ctx, Env, ArgTypes[Idx],
+        Budget - CostSoFar,
+        [&](ExprPtr Arg, double ArgCost, TypeContext &ArgCtx) {
+          return enumerateApplication(ChildParent, ArgCtx, Env,
+                                      Expr::application(Fn, Arg),
+                                      CostSoFar + ArgCost, ArgTypes, Idx + 1,
+                                      Budget, Emit);
+        });
+  }
+
+  const EnumerationSource &Src;
+  long &Nodes;
+};
+
+} // namespace
+
+void dc::enumerateWindow(const EnumerationSource &Src, const TypePtr &Request,
+                         double Lower, double Upper, long &Nodes,
+                         const std::function<bool(ExprPtr, double)> &Emit) {
+  TypeContext Ctx;
+  TypePtr Req = Ctx.instantiate(Request);
+  Enumerator E(Src, Nodes);
+  E.enumerate(ParentStart, 0, Ctx, nullptr, Req, Upper,
+              [&](ExprPtr P, double Cost, TypeContext &) {
+                if (Cost < Lower)
+                  return true; // reported by an earlier window
+                return Emit(P, -Cost);
+              });
+}
+
+Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
+                       const EnumerationParams &Params,
+                       EnumerationStats *Stats) {
+  Frontier F(T);
+  long Nodes = Params.NodeBudget;
+  long Seen = 0;
+  long EffortAtSolve = -1;
+  int WindowsSinceSolved = -1;
+  double Lower = 0;
+  double Upper = Params.InitialBudget;
+
+  while (Lower < Params.MaxBudget && Nodes > 0) {
+    enumerateWindow(Src, T->request(), Lower, Upper, Nodes,
+                    [&](ExprPtr P, double LogPrior) {
+                      ++Seen;
+                      double LL = T->logLikelihood(P);
+                      if (LL == NegInf)
+                        return true;
+                      if (F.empty() && EffortAtSolve < 0)
+                        EffortAtSolve = Seen;
+                      F.record({P, LogPrior, LL}, Params.FrontierSize);
+                      return true;
+                    });
+    if (!F.empty()) {
+      if (WindowsSinceSolved < 0)
+        WindowsSinceSolved = 0;
+      else
+        ++WindowsSinceSolved;
+      if (WindowsSinceSolved >= Params.ExtraWindowsAfterSolution)
+        break;
+    }
+    Lower = Upper;
+    Upper += Params.BudgetStep;
+  }
+
+  if (Stats) {
+    Stats->NodesExpanded += Params.NodeBudget - Nodes;
+    Stats->ProgramsEnumerated += Seen;
+    Stats->BudgetReached = std::max(Stats->BudgetReached, Upper);
+    Stats->EffortToSolve.push_back(EffortAtSolve);
+  }
+  return F;
+}
+
+std::vector<Frontier> dc::solveTasks(const Grammar &G,
+                                     const std::vector<TaskPtr> &Tasks,
+                                     const EnumerationParams &Params,
+                                     EnumerationStats *Stats) {
+  std::vector<Frontier> Out;
+  Out.reserve(Tasks.size());
+  for (const TaskPtr &T : Tasks)
+    Out.emplace_back(T);
+
+  // Group tasks by request type so each distinct type is enumerated once.
+  std::map<std::string, std::vector<size_t>> Groups;
+  for (size_t I = 0; I < Tasks.size(); ++I)
+    Groups[canonicalize(Tasks[I]->request())->show()].push_back(I);
+
+  std::vector<long> Efforts(Tasks.size(), -1);
+  for (auto &[TypeKey, Indices] : Groups) {
+    (void)TypeKey;
+    const TypePtr &Request = Tasks[Indices.front()]->request();
+    long Nodes = Params.NodeBudget;
+    long Seen = 0;
+    double Lower = 0;
+    double Upper = Params.InitialBudget;
+    int WindowsSinceAllSolved = -1;
+
+    while (Lower < Params.MaxBudget && Nodes > 0) {
+      enumerateWindow(G, Request, Lower, Upper, Nodes,
+                      [&](ExprPtr P, double LogPrior) {
+                        ++Seen;
+                        for (size_t I : Indices) {
+                          double LL = Tasks[I]->logLikelihood(P);
+                          if (LL == NegInf)
+                            continue;
+                          if (Out[I].empty() && Efforts[I] < 0)
+                            Efforts[I] = Seen;
+                          Out[I].record({P, LogPrior, LL},
+                                        Params.FrontierSize);
+                        }
+                        return true;
+                      });
+      bool AllSolved = true;
+      for (size_t I : Indices)
+        AllSolved = AllSolved && !Out[I].empty();
+      if (AllSolved) {
+        if (WindowsSinceAllSolved < 0)
+          WindowsSinceAllSolved = 0;
+        else
+          ++WindowsSinceAllSolved;
+        if (WindowsSinceAllSolved >= Params.ExtraWindowsAfterSolution)
+          break;
+      }
+      Lower = Upper;
+      Upper += Params.BudgetStep;
+    }
+
+    if (Stats) {
+      Stats->NodesExpanded += Params.NodeBudget - Nodes;
+      Stats->ProgramsEnumerated += Seen;
+      Stats->BudgetReached = std::max(Stats->BudgetReached, Upper);
+    }
+  }
+  if (Stats)
+    for (long E : Efforts)
+      Stats->EffortToSolve.push_back(E);
+  return Out;
+}

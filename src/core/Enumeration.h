@@ -1,0 +1,77 @@
+//===- core/Enumeration.h - Type-directed enumerative search --------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Wake-phase search: enumerate programs of a requested type in decreasing
+/// prior probability (equivalently, increasing description length in nats),
+/// by iterative deepening over description-length windows [L, U) — the
+/// strategy of the original OCaml solver. The same enumerator serves the
+/// unigram generative grammar and the bigram recognition model through the
+/// EnumerationSource interface.
+///
+/// The paper budgets search by wall-clock timeout on a cluster; this
+/// reproduction budgets by candidate-expansion count ("nodes") and a maximum
+/// description length, which is deterministic and machine-independent (see
+/// DESIGN.md, substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_ENUMERATION_H
+#define DC_CORE_ENUMERATION_H
+
+#include "core/Grammar.h"
+#include "core/Task.h"
+
+namespace dc {
+
+/// Search-budget knobs for one wake phase.
+struct EnumerationParams {
+  double InitialBudget = 8.0; ///< first description-length window upper bound
+  double BudgetStep = 1.5;    ///< window width for iterative deepening
+  double MaxBudget = 18.0;    ///< give up beyond this description length
+  long NodeBudget = 300000;   ///< candidate expansions per task (or group)
+  int FrontierSize = 5;       ///< beam size |B_x| (paper uses 5)
+  /// After the first window that solves the task, search this many more
+  /// windows to diversify the beam before stopping.
+  int ExtraWindowsAfterSolution = 0;
+};
+
+/// Cumulative effort statistics for one search.
+struct EnumerationStats {
+  long NodesExpanded = 0;
+  long ProgramsEnumerated = 0;
+  double BudgetReached = 0;
+  /// Programs enumerated before each task's first solution (search-effort
+  /// analog of the paper's solve times; -1 when unsolved).
+  std::vector<long> EffortToSolve;
+};
+
+/// Enumerates every program of type \p Request whose description length
+/// (negative log prior under \p Src) lies in [\p Lower, \p Upper), invoking
+/// \p Emit with the program and its log prior. Stops early when \p Nodes
+/// reaches zero. \p Emit returns false to abort the search.
+void enumerateWindow(const EnumerationSource &Src, const TypePtr &Request,
+                     double Lower, double Upper, long &Nodes,
+                     const std::function<bool(ExprPtr, double)> &Emit);
+
+/// Searches for solutions to a single task under \p Src (typically the
+/// task-conditioned bigram grammar from the recognition model).
+Frontier solveTask(const EnumerationSource &Src, const TaskPtr &T,
+                   const EnumerationParams &Params,
+                   EnumerationStats *Stats = nullptr);
+
+/// Searches for solutions to many tasks under one shared grammar,
+/// enumerating once per distinct request type and testing each candidate
+/// program against every task of that type (the paper's shared-grammar
+/// wake phase). Returns one frontier per task, aligned with \p Tasks.
+std::vector<Frontier> solveTasks(const Grammar &G,
+                                 const std::vector<TaskPtr> &Tasks,
+                                 const EnumerationParams &Params,
+                                 EnumerationStats *Stats = nullptr);
+
+} // namespace dc
+
+#endif // DC_CORE_ENUMERATION_H

@@ -1,0 +1,135 @@
+//===- core/Featurizer.cpp - Task featurization ---------------------------===//
+
+#include "core/Featurizer.h"
+
+#include <cmath>
+
+using namespace dc;
+
+namespace {
+
+/// FNV-1a over a small string.
+size_t fnv1a(const std::string &S) {
+  size_t H = 1469598103934665603ULL;
+  for (char C : S) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+/// Flattens a value into numeric leaves (for statistics).
+void collectNumbers(const ValuePtr &V, std::vector<double> &Out) {
+  if (!V)
+    return;
+  if (V->isInt()) {
+    Out.push_back(static_cast<double>(V->asInt()));
+  } else if (V->isReal()) {
+    Out.push_back(V->asReal());
+  } else if (V->isChar()) {
+    Out.push_back(static_cast<double>(V->asChar()));
+  } else if (V->isList()) {
+    for (const ValuePtr &E : V->asList())
+      collectNumbers(E, Out);
+  }
+}
+
+double listLength(const ValuePtr &V) {
+  return V && V->isList() ? static_cast<double>(V->asList().size()) : -1.0;
+}
+
+/// Squashes an unbounded statistic into (-1, 1).
+float squash(double X) { return static_cast<float>(std::tanh(X / 8.0)); }
+
+/// Adds hashed character-trigram counts of \p S into \p Dst.
+void hashInto(const std::string &S, float *Dst, int Buckets) {
+  if (S.size() < 3) {
+    Dst[fnv1a(S) % Buckets] += 1.0f;
+    return;
+  }
+  for (size_t I = 0; I + 3 <= S.size(); ++I)
+    Dst[fnv1a(S.substr(I, 3)) % Buckets] += 1.0f;
+}
+
+} // namespace
+
+std::vector<float> IoFeaturizer::featurize(const Task &T) const {
+  std::vector<float> F(dimension(), 0.0f);
+  float *InBuckets = F.data();
+  float *OutBuckets = F.data() + Buckets;
+  float *Stats = F.data() + 2 * Buckets;
+
+  std::vector<double> InLens, OutLens, InNums, OutNums;
+  for (const Example &Ex : T.examples()) {
+    for (const ValuePtr &In : Ex.Inputs) {
+      if (In)
+        hashInto(In->show(), InBuckets, Buckets);
+      InLens.push_back(listLength(In));
+      collectNumbers(In, InNums);
+    }
+    if (Ex.Output) {
+      hashInto(Ex.Output->show(), OutBuckets, Buckets);
+      OutLens.push_back(listLength(Ex.Output));
+      collectNumbers(Ex.Output, OutNums);
+    }
+  }
+
+  // Normalize the hashed bags so feature magnitudes are example-count
+  // independent.
+  auto Normalize = [&](float *B) {
+    float Total = 0;
+    for (int I = 0; I < Buckets; ++I)
+      Total += B[I];
+    if (Total > 0)
+      for (int I = 0; I < Buckets; ++I)
+        B[I] = std::sqrt(B[I] / Total);
+  };
+  Normalize(InBuckets);
+  Normalize(OutBuckets);
+
+  auto Mean = [](const std::vector<double> &Xs) {
+    if (Xs.empty())
+      return 0.0;
+    double S = 0;
+    for (double X : Xs)
+      S += X;
+    return S / static_cast<double>(Xs.size());
+  };
+  auto MinOf = [](const std::vector<double> &Xs) {
+    double M = 0;
+    for (double X : Xs)
+      M = std::min(M, X);
+    return M;
+  };
+  auto MaxOf = [](const std::vector<double> &Xs) {
+    double M = 0;
+    for (double X : Xs)
+      M = std::max(M, X);
+    return M;
+  };
+
+  int K = 0;
+  Stats[K++] = squash(Mean(InLens));
+  Stats[K++] = squash(Mean(OutLens));
+  Stats[K++] = squash(Mean(OutLens) - Mean(InLens));
+  Stats[K++] = squash(Mean(InNums));
+  Stats[K++] = squash(Mean(OutNums));
+  Stats[K++] = squash(Mean(OutNums) - Mean(InNums));
+  Stats[K++] = squash(MinOf(InNums));
+  Stats[K++] = squash(MaxOf(InNums));
+  Stats[K++] = squash(MinOf(OutNums));
+  Stats[K++] = squash(MaxOf(OutNums));
+  Stats[K++] = squash(static_cast<double>(T.examples().size()));
+  // Element-count conservation and emptiness indicators.
+  Stats[K++] = InNums.size() == OutNums.size() ? 1.0f : 0.0f;
+  Stats[K++] = OutNums.empty() ? 1.0f : 0.0f;
+  Stats[K++] = InNums.empty() ? 1.0f : 0.0f;
+  // Are outputs a subset-sized reduction of the inputs?
+  Stats[K++] = OutLens.empty() || InLens.empty()
+                   ? 0.0f
+                   : squash(Mean(InLens) > 0 ? Mean(OutLens) / Mean(InLens)
+                                             : 0.0);
+  Stats[K++] = 1.0f; // bias input
+  assert(K == 16 && "statistic block size drifted");
+  return F;
+}

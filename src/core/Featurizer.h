@@ -1,0 +1,53 @@
+//===- core/Featurizer.h - Task featurization for the recognition model ---===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Maps tasks to fixed-dimension float vectors for the recognition network.
+/// The paper uses learned task encoders (GRUs over examples, CNNs over
+/// images); this reproduction uses deterministic hand-engineered features —
+/// a hashed bag of I/O structure plus numeric statistics — which preserve
+/// what matters for the experiments: tasks from the same family land close
+/// together, so the bigram head can specialize (see DESIGN.md).
+///
+/// Image-like domains (LOGO, towers) provide their own featurizers that
+/// downsample the rendered canvas.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_FEATURIZER_H
+#define DC_CORE_FEATURIZER_H
+
+#include "core/Task.h"
+
+namespace dc {
+
+/// Converts tasks into fixed-size feature vectors.
+class TaskFeaturizer {
+public:
+  virtual ~TaskFeaturizer() = default;
+  virtual int dimension() const = 0;
+  virtual std::vector<float> featurize(const Task &T) const = 0;
+};
+
+/// Generic featurizer over input/output examples: hashed token buckets of
+/// the serialized inputs and outputs plus aggregate numeric statistics
+/// (lengths, deltas, elementwise relations). Works for any Value-based
+/// task, including dreamed (fantasy) tasks.
+class IoFeaturizer : public TaskFeaturizer {
+public:
+  /// \p HashBuckets per side (inputs/outputs) + 16 numeric statistics.
+  explicit IoFeaturizer(int HashBuckets = 64) : Buckets(HashBuckets) {}
+
+  int dimension() const override { return 2 * Buckets + 16; }
+  std::vector<float> featurize(const Task &T) const override;
+
+private:
+  int Buckets;
+};
+
+} // namespace dc
+
+#endif // DC_CORE_FEATURIZER_H

@@ -1,0 +1,92 @@
+//===- core/LikelihoodSummary.h - Reusable likelihood decompositions ------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A LikelihoodSummary records, for one (program, request) pair, every
+/// generation decision the grammar made: which production (or variable) was
+/// chosen at each hole and which alternatives were type-compatible there.
+/// From a summary, log P[ρ|D,θ] can be recomputed in O(decisions) for any
+/// new θ — the workhorse of θ re-estimation (inside-outside) and of the
+/// compression objective (Eq. 4), which rescoring candidate libraries would
+/// otherwise make quadratic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_LIKELIHOODSUMMARY_H
+#define DC_CORE_LIKELIHOODSUMMARY_H
+
+#include "core/Grammar.h"
+
+namespace dc {
+
+/// Decomposed likelihood of one program under one grammar's support.
+class LikelihoodSummary {
+public:
+  /// Walks \p Program at \p Request under \p G, recording decisions.
+  /// The summary is invalid (valid() == false, likelihood -inf) when the
+  /// program is not generable by \p G.
+  static LikelihoodSummary build(const Grammar &G, const TypePtr &Request,
+                                 ExprPtr Program);
+
+  bool valid() const { return Valid; }
+
+  /// Recomputes log P[ρ|D,θ] under (possibly re-weighted) grammar \p G.
+  /// \p G must have the same productions as the grammar the summary was
+  /// built with (same indices).
+  double logLikelihood(const Grammar &G) const;
+
+  /// Actual production use counts, indexed like G.productions(); the last
+  /// implicit slot is tracked separately as variableUses().
+  const std::unordered_map<int, double> &uses() const { return Uses; }
+  double variableUses() const { return VarUses; }
+
+  /// One normalization event: the set of type-compatible production indices
+  /// (−1 encodes the variable pseudo-production) and how often this exact
+  /// set occurred.
+  struct Normalizer {
+    std::vector<int> Candidates;
+    double Count = 0;
+  };
+  const std::vector<Normalizer> &normalizers() const { return Norms; }
+
+  /// θ-independent contribution (the -log(#matching variables) terms).
+  double constant() const { return Constant; }
+
+  /// Accumulates another summary (used when pooling across a frontier).
+  void accumulate(const LikelihoodSummary &Other, double Weight);
+
+private:
+  friend class Grammar;
+
+  void recordDecision(int ChosenIdx, int MatchingVariables,
+                      std::vector<int> CandidateIdxs);
+
+  bool Valid = true;
+  std::unordered_map<int, double> Uses;
+  double VarUses = 0;
+  double Constant = 0;
+  std::vector<Normalizer> Norms;
+};
+
+/// Pooled expected counts across many weighted summaries, used to refit θ.
+struct ExpectedCounts {
+  std::unordered_map<int, double> Uses;
+  double VarUses = 0;
+  std::unordered_map<int, double> PossibleUses;
+  double VarPossible = 0;
+
+  void add(const LikelihoodSummary &S, double Weight);
+};
+
+/// Re-estimates θ from expected counts with Laplace smoothing \p PseudoCount
+/// (the symmetric-Dirichlet prior over θ from Eq. 4). Modifies weights in
+/// place; production set is unchanged.
+void refitGrammar(Grammar &G, const ExpectedCounts &Counts,
+                  double PseudoCount = 0.3);
+
+} // namespace dc
+
+#endif // DC_CORE_LIKELIHOODSUMMARY_H

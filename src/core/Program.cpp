@@ -1,0 +1,417 @@
+//===- core/Program.cpp - Hash-consed lambda calculus programs ------------===//
+
+#include "core/Program.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace dc;
+
+namespace {
+
+/// Combines hashes in the boost::hash_combine style.
+size_t hashCombine(size_t Seed, size_t V) {
+  return Seed ^ (V + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2));
+}
+
+/// Structural interning key. Primitive identity is (name, canonical type
+/// string) so two registrations of the same primitive intern to one node.
+struct ExprKey {
+  ExprKind Kind;
+  int Index;
+  std::string Name;
+  const Expr *A;
+  const Expr *B;
+
+  bool operator==(const ExprKey &O) const {
+    return Kind == O.Kind && Index == O.Index && Name == O.Name &&
+           A == O.A && B == O.B;
+  }
+};
+
+struct ExprKeyHash {
+  size_t operator()(const ExprKey &K) const {
+    size_t H = std::hash<int>()(static_cast<int>(K.Kind));
+    H = hashCombine(H, std::hash<int>()(K.Index));
+    H = hashCombine(H, std::hash<std::string>()(K.Name));
+    H = hashCombine(H, std::hash<const void *>()(K.A));
+    H = hashCombine(H, std::hash<const void *>()(K.B));
+    return H;
+  }
+};
+
+/// Global arena owning every Expr ever created. Programs live for the whole
+/// process; that is the standard hash-consing trade-off and it keeps
+/// ExprPtr trivially copyable.
+class ExprArenaImpl {
+public:
+  static ExprArenaImpl &get() {
+    static ExprArenaImpl *Singleton = new ExprArenaImpl();
+    return *Singleton;
+  }
+
+  ExprPtr intern(ExprKey Key, const TypePtr &DeclType);
+
+private:
+  std::unordered_map<ExprKey, ExprPtr, ExprKeyHash> Interned;
+};
+
+} // namespace
+
+// The friend declared in the header; it has access to Expr's private fields
+// and performs the actual node construction on behalf of the interner.
+namespace dc {
+class ExprArena {
+public:
+  static Expr *create(ExprKind Kind, int Index, std::string Name,
+                      TypePtr DeclType, ExprPtr A, ExprPtr B, size_t Hash) {
+    auto *Node = new Expr();
+    Node->TheKind = Kind;
+    Node->IndexVal = Index;
+    Node->Name = std::move(Name);
+    Node->DeclType = std::move(DeclType);
+    Node->Body =
+        (Kind == ExprKind::Invented || Kind == ExprKind::Abstraction) ? A
+                                                                      : nullptr;
+    Node->Fn = Kind == ExprKind::Application ? A : nullptr;
+    Node->Arg = Kind == ExprKind::Application ? B : nullptr;
+    Node->HashVal = Hash;
+    return Node;
+  }
+};
+} // namespace dc
+
+namespace {
+
+ExprPtr ExprArenaImpl::intern(ExprKey Key, const TypePtr &DeclType) {
+  auto It = Interned.find(Key);
+  if (It != Interned.end())
+    return It->second;
+  ExprPtr Node =
+      dc::ExprArena::create(Key.Kind, Key.Index, Key.Name, DeclType, Key.A,
+                            Key.B, ExprKeyHash()(Key));
+  Interned.emplace(std::move(Key), Node);
+  return Node;
+}
+
+} // namespace
+
+ExprPtr Expr::index(int I) {
+  assert(I >= 0 && "negative de Bruijn index");
+  ExprKey K{ExprKind::Index, I, "", nullptr, nullptr};
+  return ExprArenaImpl::get().intern(std::move(K), nullptr);
+}
+
+ExprPtr Expr::primitive(const std::string &Name, const TypePtr &Ty) {
+  assert(Ty && "primitive requires a type");
+  ExprKey K{ExprKind::Primitive, 0, Name, nullptr, nullptr};
+  return ExprArenaImpl::get().intern(std::move(K), Ty);
+}
+
+ExprPtr Expr::invented(ExprPtr Body) {
+  assert(Body && "invention requires a body");
+  ExprKey K{ExprKind::Invented, 0, "", Body, nullptr};
+  TypePtr Ty = Body->inferType();
+  assert(Ty && "invention body must be well typed");
+  return ExprArenaImpl::get().intern(std::move(K), canonicalize(Ty));
+}
+
+ExprPtr Expr::abstraction(ExprPtr Body) {
+  assert(Body && "abstraction requires a body");
+  ExprKey K{ExprKind::Abstraction, 0, "", Body, nullptr};
+  return ExprArenaImpl::get().intern(std::move(K), nullptr);
+}
+
+ExprPtr Expr::application(ExprPtr Fn, ExprPtr Arg) {
+  assert(Fn && Arg && "application requires both sides");
+  ExprKey K{ExprKind::Application, 0, "", Fn, Arg};
+  return ExprArenaImpl::get().intern(std::move(K), nullptr);
+}
+
+ExprPtr Expr::applications(ExprPtr Fn, const std::vector<ExprPtr> &Args) {
+  ExprPtr Out = Fn;
+  for (ExprPtr A : Args)
+    Out = application(Out, A);
+  return Out;
+}
+
+std::string Expr::show() const {
+  switch (TheKind) {
+  case ExprKind::Index:
+    return "$" + std::to_string(IndexVal);
+  case ExprKind::Primitive:
+    return Name;
+  case ExprKind::Invented: {
+    // DreamCoder notation: the '#' fuses with the body's own parentheses,
+    // e.g. #(lambda (+ $0 1)).
+    std::string B = Body->show();
+    if (!B.empty() && B[0] == '(')
+      return "#" + B;
+    return "#(" + B + ")";
+  }
+  case ExprKind::Abstraction:
+    return "(lambda " + Body->show() + ")";
+  case ExprKind::Application: {
+    // Flatten the spine for readability: ((f a) b) prints as (f a b).
+    auto [Head, Args] = applicationSpine(this);
+    std::string Out = "(" + Head->show();
+    for (ExprPtr A : Args)
+      Out += " " + A->show();
+    Out += ")";
+    return Out;
+  }
+  }
+  assert(false && "unknown expression kind");
+  return "";
+}
+
+int Expr::size() const {
+  switch (TheKind) {
+  case ExprKind::Index:
+  case ExprKind::Primitive:
+  case ExprKind::Invented:
+    return 1;
+  case ExprKind::Abstraction:
+    return 1 + Body->size();
+  case ExprKind::Application:
+    return 1 + Fn->size() + Arg->size();
+  }
+  return 0;
+}
+
+int Expr::depth() const {
+  switch (TheKind) {
+  case ExprKind::Index:
+  case ExprKind::Primitive:
+  case ExprKind::Invented:
+    return 1;
+  case ExprKind::Abstraction:
+    return 1 + Body->depth();
+  case ExprKind::Application:
+    return 1 + std::max(Fn->depth(), Arg->depth());
+  }
+  return 0;
+}
+
+bool Expr::hasFreeVariableAbove(int Cutoff) const {
+  switch (TheKind) {
+  case ExprKind::Index:
+    return IndexVal >= Cutoff;
+  case ExprKind::Primitive:
+  case ExprKind::Invented:
+    return false;
+  case ExprKind::Abstraction:
+    return Body->hasFreeVariableAbove(Cutoff + 1);
+  case ExprKind::Application:
+    return Fn->hasFreeVariableAbove(Cutoff) ||
+           Arg->hasFreeVariableAbove(Cutoff);
+  }
+  return false;
+}
+
+ExprPtr Expr::shift(int Delta, int Cutoff) const {
+  switch (TheKind) {
+  case ExprKind::Index:
+    if (IndexVal < Cutoff)
+      return this;
+    if (IndexVal + Delta < 0)
+      return nullptr;
+    return index(IndexVal + Delta);
+  case ExprKind::Primitive:
+  case ExprKind::Invented:
+    return this;
+  case ExprKind::Abstraction: {
+    ExprPtr B = Body->shift(Delta, Cutoff + 1);
+    return B ? abstraction(B) : nullptr;
+  }
+  case ExprKind::Application: {
+    ExprPtr F = Fn->shift(Delta, Cutoff);
+    ExprPtr X = Arg->shift(Delta, Cutoff);
+    return (F && X) ? application(F, X) : nullptr;
+  }
+  }
+  return nullptr;
+}
+
+ExprPtr Expr::substitute(int Target, ExprPtr Value) const {
+  switch (TheKind) {
+  case ExprKind::Index:
+    if (IndexVal == Target)
+      return Value;
+    // Indices above the substituted binder step down by one.
+    if (IndexVal > Target)
+      return index(IndexVal - 1);
+    return this;
+  case ExprKind::Primitive:
+  case ExprKind::Invented:
+    return this;
+  case ExprKind::Abstraction: {
+    ExprPtr Shifted = Value->shift(1);
+    assert(Shifted && "shift up cannot fail");
+    return abstraction(Body->substitute(Target + 1, Shifted));
+  }
+  case ExprKind::Application:
+    return application(Fn->substitute(Target, Value),
+                       Arg->substitute(Target, Value));
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// One leftmost-outermost reduction step; returns nullptr when already in
+/// normal form (no redex found).
+ExprPtr stepBeta(ExprPtr E) {
+  switch (E->kind()) {
+  case ExprKind::Index:
+  case ExprKind::Primitive:
+  case ExprKind::Invented:
+    return nullptr;
+  case ExprKind::Abstraction: {
+    ExprPtr B = stepBeta(E->body());
+    return B ? Expr::abstraction(B) : nullptr;
+  }
+  case ExprKind::Application: {
+    if (E->fn()->isAbstraction()) {
+      // substitute() folds the binder-removal index decrement in, so the
+      // argument is passed unshifted and no downshift follows.
+      return E->fn()->body()->substitute(0, E->arg());
+    }
+    if (ExprPtr F = stepBeta(E->fn()))
+      return Expr::application(F, E->arg());
+    if (ExprPtr X = stepBeta(E->arg()))
+      return Expr::application(E->fn(), X);
+    return nullptr;
+  }
+  }
+  return nullptr;
+}
+
+} // namespace
+
+ExprPtr Expr::betaNormalForm(int MaxSteps) const {
+  ExprPtr Cur = this;
+  for (int I = 0; I < MaxSteps; ++I) {
+    ExprPtr Next = stepBeta(Cur);
+    if (!Next)
+      return Cur;
+    Cur = Next;
+  }
+  return Cur;
+}
+
+ExprPtr Expr::stripInventions() const {
+  switch (TheKind) {
+  case ExprKind::Index:
+  case ExprKind::Primitive:
+    return this;
+  case ExprKind::Invented:
+    return Body->stripInventions();
+  case ExprKind::Abstraction:
+    return abstraction(Body->stripInventions());
+  case ExprKind::Application:
+    return application(Fn->stripInventions(), Arg->stripInventions());
+  }
+  return nullptr;
+}
+
+void Expr::visit(const std::function<void(ExprPtr)> &Visit) const {
+  Visit(this);
+  switch (TheKind) {
+  case ExprKind::Index:
+  case ExprKind::Primitive:
+    break;
+  case ExprKind::Invented:
+    // Invention bodies are opaque to most consumers; do not descend. Callers
+    // that need the body can recurse explicitly.
+    break;
+  case ExprKind::Abstraction:
+    Body->visit(Visit);
+    break;
+  case ExprKind::Application:
+    Fn->visit(Visit);
+    Arg->visit(Visit);
+    break;
+  }
+}
+
+std::vector<ExprPtr> Expr::subexpressions() const {
+  std::vector<ExprPtr> Out;
+  std::unordered_set<ExprPtr> Seen;
+  visit([&](ExprPtr E) {
+    if (Seen.insert(E).second)
+      Out.push_back(E);
+  });
+  return Out;
+}
+
+TypePtr Expr::inferType(TypeContext &Ctx,
+                        std::vector<TypePtr> &Environment) const {
+  switch (TheKind) {
+  case ExprKind::Index: {
+    if (IndexVal >= static_cast<int>(Environment.size()))
+      return nullptr; // free variable with no binder: untypeable here
+    return Ctx.apply(Environment[Environment.size() - 1 - IndexVal]);
+  }
+  case ExprKind::Primitive:
+  case ExprKind::Invented:
+    return Ctx.instantiate(DeclType);
+  case ExprKind::Abstraction: {
+    TypePtr ArgTy = Ctx.makeVariable();
+    Environment.push_back(ArgTy);
+    TypePtr BodyTy = Body->inferType(Ctx, Environment);
+    Environment.pop_back();
+    if (!BodyTy)
+      return nullptr;
+    return Type::arrow(Ctx.apply(ArgTy), BodyTy);
+  }
+  case ExprKind::Application: {
+    TypePtr FnTy = Fn->inferType(Ctx, Environment);
+    if (!FnTy)
+      return nullptr;
+    TypePtr ArgTy = Arg->inferType(Ctx, Environment);
+    if (!ArgTy)
+      return nullptr;
+    TypePtr Result = Ctx.makeVariable();
+    if (!Ctx.unify(FnTy, Type::arrow(ArgTy, Result)))
+      return nullptr;
+    return Ctx.apply(Result);
+  }
+  }
+  return nullptr;
+}
+
+TypePtr Expr::inferType() const {
+  TypeContext Ctx;
+  std::vector<TypePtr> Env;
+  TypePtr T = inferType(Ctx, Env);
+  if (!T)
+    return nullptr;
+  return canonicalize(Ctx.apply(T));
+}
+
+int Expr::inventionDepth() const {
+  switch (TheKind) {
+  case ExprKind::Index:
+  case ExprKind::Primitive:
+    return 0;
+  case ExprKind::Invented:
+    return 1 + Body->inventionDepth();
+  case ExprKind::Abstraction:
+    return Body->inventionDepth();
+  case ExprKind::Application:
+    return std::max(Fn->inventionDepth(), Arg->inventionDepth());
+  }
+  return 0;
+}
+
+std::pair<ExprPtr, std::vector<ExprPtr>> dc::applicationSpine(ExprPtr E) {
+  std::vector<ExprPtr> Args;
+  while (E->isApplication()) {
+    Args.push_back(E->arg());
+    E = E->fn();
+  }
+  std::reverse(Args.begin(), Args.end());
+  return {E, std::move(Args)};
+}

@@ -1,0 +1,174 @@
+//===- core/ProgramParser.cpp - S-expression parser for programs ----------===//
+
+#include "core/ProgramParser.h"
+#include "core/Primitives.h"
+
+#include <cctype>
+
+using namespace dc;
+
+namespace {
+
+/// Recursive-descent parser over a flat character buffer.
+class Parser {
+public:
+  Parser(const std::string &Src, std::string *ErrorOut)
+      : Src(Src), ErrorOut(ErrorOut) {}
+
+  ExprPtr run() {
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    skipSpace();
+    if (Pos != Src.size())
+      return error("trailing characters after program");
+    return E;
+  }
+
+private:
+  ExprPtr error(const std::string &Msg) {
+    if (ErrorOut && ErrorOut->empty())
+      *ErrorOut = Msg + " at offset " + std::to_string(Pos);
+    return nullptr;
+  }
+
+  void skipSpace() {
+    while (Pos < Src.size() && std::isspace(static_cast<unsigned char>(Src[Pos])))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    skipSpace();
+    if (Pos < Src.size() && Src[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  /// Reads an atom: a maximal run of non-space, non-paren characters.
+  /// Atoms beginning with a single quote extend to the closing quote so
+  /// character-constant primitives like ' ' and ')' parse.
+  std::string readAtom() {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Src.size() && Src[Pos] == '\'') {
+      ++Pos;
+      while (Pos < Src.size() && Src[Pos] != '\'')
+        ++Pos;
+      if (Pos < Src.size())
+        ++Pos; // consume the closing quote
+      return Src.substr(Start, Pos - Start);
+    }
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (std::isspace(static_cast<unsigned char>(C)) || C == '(' ||
+          C == ')')
+        break;
+      ++Pos;
+    }
+    return Src.substr(Start, Pos - Start);
+  }
+
+  ExprPtr parseExpr() {
+    skipSpace();
+    if (Pos >= Src.size())
+      return error("unexpected end of input");
+
+    // Invention: #BODY where BODY is parenthesized, e.g. #(lambda (+ $0 1)).
+    if (Src[Pos] == '#') {
+      ++Pos;
+      skipSpace();
+      if (Pos >= Src.size() || Src[Pos] != '(')
+        return error("expected '(' after '#'");
+      ExprPtr Body = parseExpr();
+      if (!Body)
+        return nullptr;
+      if (!Body->isClosed())
+        return error("invention body has free variables");
+      if (!Body->inferType())
+        return error("invention body is ill-typed");
+      return Expr::invented(Body);
+    }
+
+    // Parenthesized: abstraction or application.
+    if (Src[Pos] == '(') {
+      ++Pos;
+      skipSpace();
+      // Peek the head atom to detect lambda.
+      size_t Save = Pos;
+      std::string Head = readAtom();
+      if (Head == "lambda" || Head == "\xce\xbb" /* λ */) {
+        ExprPtr Body = parseExpr();
+        if (!Body)
+          return nullptr;
+        if (!consume(')'))
+          return error("expected ')' closing lambda");
+        return Expr::abstraction(Body);
+      }
+      Pos = Save; // not a lambda; reparse head as an expression
+      ExprPtr Fn = parseExpr();
+      if (!Fn)
+        return nullptr;
+      std::vector<ExprPtr> Args;
+      while (true) {
+        skipSpace();
+        if (Pos >= Src.size())
+          return error("unterminated application");
+        if (Src[Pos] == ')') {
+          ++Pos;
+          break;
+        }
+        ExprPtr A = parseExpr();
+        if (!A)
+          return nullptr;
+        Args.push_back(A);
+      }
+      if (Args.empty())
+        return error("application needs at least one argument");
+      return Expr::applications(Fn, Args);
+    }
+
+    if (Src[Pos] == ')')
+      return error("unexpected ')'");
+
+    // Atom: index or primitive.
+    std::string Atom = readAtom();
+    if (Atom.empty())
+      return error("empty atom");
+    if (Atom[0] == '$') {
+      for (size_t I = 1; I < Atom.size(); ++I)
+        if (!std::isdigit(static_cast<unsigned char>(Atom[I])))
+          return error("malformed de Bruijn index '" + Atom + "'");
+      if (Atom.size() == 1)
+        return error("malformed de Bruijn index '$'");
+      return Expr::index(std::stoi(Atom.substr(1)));
+    }
+    if (ExprPtr P = lookupPrimitive(Atom))
+      return P;
+    // Integer literals auto-register as int constants for convenience.
+    bool IsInt = !Atom.empty() &&
+                 (std::isdigit(static_cast<unsigned char>(Atom[0])) ||
+                  (Atom[0] == '-' && Atom.size() > 1));
+    if (IsInt) {
+      for (size_t I = 1; I < Atom.size(); ++I)
+        IsInt = IsInt && std::isdigit(static_cast<unsigned char>(Atom[I]));
+      if (IsInt)
+        return intPrimitive(std::stol(Atom));
+    }
+    return error("unknown primitive '" + Atom + "'");
+  }
+
+  const std::string &Src;
+  std::string *ErrorOut;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+ExprPtr dc::parseProgram(const std::string &Source, std::string *ErrorOut) {
+  if (ErrorOut)
+    ErrorOut->clear();
+  Parser P(Source, ErrorOut);
+  return P.run();
+}

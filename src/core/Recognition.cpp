@@ -1,0 +1,199 @@
+//===- core/Recognition.cpp - Neural recognition model Q(ρ|x) -------------===//
+
+#include "core/Recognition.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dc;
+
+RecognitionModel::RecognitionModel(const Grammar &G, const TaskFeaturizer &F,
+                                   const RecognitionParams &P)
+    : Base(G), Structure(G), Featurizer(F), Params(P), Rng(P.Seed) {
+  NumChildren = static_cast<int>(G.productions().size()) + 1;
+
+  // Slot layout: [start][variable-parent args][production 0 args]...
+  // In unigram mode everything collapses onto the start slot.
+  SlotOffset.assign(G.productions().size() + 2, 0);
+  int Offset = 0;
+  SlotOffset[0] = Offset; // start
+  Offset += 1;
+  int MaxA = Structure.maxArity();
+  SlotOffset[1] = Offset; // variable parent
+  Offset += MaxA;
+  for (size_t I = 0; I < G.productions().size(); ++I) {
+    SlotOffset[2 + I] = Offset;
+    Offset += std::max(1, functionArity(G.productions()[I].Ty));
+  }
+  NumSlots = Params.Bigram ? Offset : 1;
+
+  Net = nn::Mlp(Featurizer.dimension(), Params.HiddenDim,
+                NumSlots * NumChildren, Rng);
+}
+
+int RecognitionModel::slotIndex(int ParentIdx, int ArgIdx) const {
+  if (!Params.Bigram)
+    return 0;
+  int Slot;
+  if (ParentIdx == ParentStart)
+    Slot = SlotOffset[0];
+  else if (ParentIdx == ParentVariable)
+    Slot = SlotOffset[1] + std::clamp(ArgIdx, 0, Structure.maxArity() - 1);
+  else {
+    int Arity =
+        std::max(1, functionArity(Base.productions()[ParentIdx].Ty));
+    Slot = SlotOffset[2 + ParentIdx] + std::clamp(ArgIdx, 0, Arity - 1);
+  }
+  assert(Slot >= 0 && Slot < NumSlots && "slot out of range");
+  return Slot;
+}
+
+double RecognitionModel::exampleLossAndGrad(const std::vector<float> &Features,
+                                            const TypePtr &Request,
+                                            ExprPtr Program) {
+  std::vector<float> Logits = Net.forward(Features);
+  std::vector<float> DLogits(Logits.size(), 0.0f);
+  double Loss = 0;
+  int Decisions = 0;
+
+  bool Ok = walkProgramDecisions(
+      Structure, Request, Program,
+      [&](int ParentIdx, int ArgIdx, const GrammarCandidate &Chosen,
+          const std::vector<GrammarCandidate> &All) {
+        int Slot = slotIndex(ParentIdx, ArgIdx);
+        int BaseIdx = Slot * NumChildren;
+        // Candidate child classes at this hole (variable = last index).
+        std::vector<int> Active;
+        bool VarActive = false;
+        for (const GrammarCandidate &C : All) {
+          if (C.ProductionIdx < 0)
+            VarActive = true;
+          else
+            Active.push_back(BaseIdx + C.ProductionIdx);
+        }
+        if (VarActive)
+          Active.push_back(BaseIdx + NumChildren - 1);
+        std::sort(Active.begin(), Active.end());
+        Active.erase(std::unique(Active.begin(), Active.end()),
+                     Active.end());
+
+        int Target = Chosen.ProductionIdx < 0
+                         ? BaseIdx + NumChildren - 1
+                         : BaseIdx + Chosen.ProductionIdx;
+        std::vector<float> LogProbs = nn::maskedLogSoftmax(Logits, Active);
+        Loss -= LogProbs[Target];
+        ++Decisions;
+        // dL/dlogit = softmax - onehot over the active set.
+        for (int I : Active)
+          DLogits[I] += std::exp(LogProbs[I]);
+        DLogits[Target] -= 1.0f;
+      });
+  if (!Ok || Decisions == 0)
+    return 0.0; // outside support: contribute nothing
+
+  Net.backward(DLogits);
+  return Loss; // total cross-entropy over this program's decisions
+}
+
+void RecognitionModel::trainOnPairs(const std::vector<Fantasy> &Pairs) {
+  if (Pairs.empty())
+    return;
+  // Pre-featurize (featurization is deterministic and reusable).
+  std::vector<std::vector<float>> Features;
+  Features.reserve(Pairs.size());
+  for (const Fantasy &P : Pairs)
+    Features.push_back(Featurizer.featurize(*P.T));
+
+  nn::Adam Optimizer(Net, Params.LearningRate);
+  std::uniform_int_distribution<size_t> Pick(0, Pairs.size() - 1);
+  double RunningLoss = 0;
+  long Counted = 0;
+  for (int Step = 0; Step < Params.TrainingSteps; ++Step) {
+    size_t I = Pick(Rng);
+    double L = exampleLossAndGrad(Features[I], Pairs[I].T->request(),
+                                  Pairs[I].Program);
+    Optimizer.step();
+    RunningLoss += L;
+    ++Counted;
+  }
+  LastLoss = Counted ? RunningLoss / static_cast<double>(Counted) : 0;
+}
+
+void RecognitionModel::train(const std::vector<Frontier> &Replays,
+                             const std::vector<TaskPtr> &ReplayTasks,
+                             const FantasyHook &Hook) {
+  std::vector<Fantasy> Pairs;
+
+  // Replays: the best program for every solved task (L^MAP), or every beam
+  // member (L^post).
+  for (const Frontier &F : Replays) {
+    if (F.empty())
+      continue;
+    if (Params.MapObjective) {
+      Pairs.push_back({F.task(), F.best()->Program, F.best()->LogPrior});
+    } else {
+      for (const FrontierEntry &E : F.entries())
+        Pairs.push_back({F.task(), E.Program, E.LogPrior});
+    }
+  }
+
+  // Fantasies: dreams from the generative model.
+  std::vector<Fantasy> Dreams =
+      sampleFantasies(Base, ReplayTasks, Params.FantasyCount, Rng,
+                      Params.MapObjective, Hook);
+  for (Fantasy &D : Dreams)
+    Pairs.push_back(std::move(D));
+
+  trainOnPairs(Pairs);
+}
+
+void RecognitionModel::fillGrammarWeights(const std::vector<float> &Logits,
+                                          ContextualGrammar &CG) const {
+  auto Clamp = [&](float L) {
+    return std::clamp(L, -Params.LogitClamp, Params.LogitClamp);
+  };
+  // The network predicts residual corrections to the generative weights:
+  // an untrained Q (logits near zero) then guides search exactly like the
+  // generative model, and training only ever adds information. (The paper
+  // parameterizes Q absolutely but trains it to convergence on much more
+  // dream data; the residual form keeps reduced-scale runs stable.)
+  auto FillSlot = [&](Grammar &G, int Slot) {
+    int BaseIdx = Slot * NumChildren;
+    for (size_t I = 0; I < G.productions().size(); ++I)
+      G.productions()[I].LogWeight =
+          Base.productions()[I].LogWeight + Clamp(Logits[BaseIdx + I]);
+    G.setLogVariable(Base.logVariable() +
+                     Clamp(Logits[BaseIdx + NumChildren - 1]));
+  };
+
+  FillSlot(CG.slot(ParentStart, 0), slotIndex(ParentStart, 0));
+  for (int A = 0; A < Structure.maxArity(); ++A)
+    FillSlot(CG.slot(ParentVariable, A), slotIndex(ParentVariable, A));
+  for (size_t P = 0; P < Base.productions().size(); ++P) {
+    int Arity = std::max(1, functionArity(Base.productions()[P].Ty));
+    for (int A = 0; A < Arity; ++A)
+      FillSlot(CG.slot(static_cast<int>(P), A),
+               slotIndex(static_cast<int>(P), A));
+  }
+}
+
+ContextualGrammar RecognitionModel::predict(const Task &T) const {
+  std::vector<float> Logits = Net.forward(Featurizer.featurize(T));
+  ContextualGrammar CG(Base);
+  fillGrammarWeights(Logits, CG);
+  return CG;
+}
+
+Grammar RecognitionModel::predictUnigram(const Task &T) const {
+  std::vector<float> Logits = Net.forward(Featurizer.featurize(T));
+  Grammar G = Base;
+  int BaseIdx = slotIndex(ParentStart, 0) * NumChildren;
+  for (size_t I = 0; I < G.productions().size(); ++I)
+    G.productions()[I].LogWeight +=
+        std::clamp(Logits[BaseIdx + static_cast<int>(I)],
+                   -Params.LogitClamp, Params.LogitClamp);
+  G.setLogVariable(G.logVariable() +
+                   std::clamp(Logits[BaseIdx + NumChildren - 1],
+                              -Params.LogitClamp, Params.LogitClamp));
+  return G;
+}

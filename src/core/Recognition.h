@@ -1,0 +1,105 @@
+//===- core/Recognition.h - Neural recognition model Q(ρ|x) ---------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dream-sleep recognition model (paper §4): a task-conditioned
+/// distribution over programs used to guide wake-phase search. A small MLP
+/// maps task features to a bigram transition tensor Q[parent, argIndex,
+/// child] (3-index, as in Fig 6 top); enumerating under the resulting
+/// ContextualGrammar breaks syntactic symmetries that a unigram model
+/// cannot (don't add zero, fix associativity, ...).
+///
+/// Supported training regimes (for the Fig 6 ablation grid):
+///   * objective: L^MAP (collapse observation-equivalent dreams to their
+///     highest-prior member) or L^post (every sample is a target)
+///   * parameterization: bigram (per-slot heads) or unigram (single head,
+///     as in EC2)
+///
+/// Training data is replays (solved frontiers) plus fantasies (programs
+/// sampled from the generative model, executed to produce tasks).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_RECOGNITION_H
+#define DC_CORE_RECOGNITION_H
+
+#include "core/ContextualGrammar.h"
+#include "core/Featurizer.h"
+#include "core/Sampling.h"
+#include "nn/Layers.h"
+#include "nn/Optimizer.h"
+
+namespace dc {
+
+/// Dream-phase training configuration.
+struct RecognitionParams {
+  int HiddenDim = 64;
+  int TrainingSteps = 3000;
+  float LearningRate = 5e-3f;
+  int FantasyCount = 150;       ///< dreams per training cycle
+  bool Bigram = true;           ///< bigram vs unigram parameterization
+  bool MapObjective = true;     ///< L^MAP vs L^post
+  float LogitClamp = 6.0f;      ///< predicted weights live in ±clamp
+  unsigned Seed = 0;
+};
+
+/// The neural search policy: predicts task-conditioned grammar weights.
+class RecognitionModel {
+public:
+  /// \p G fixes the library (productions and slot structure); \p F the
+  /// task encoder. The network is freshly initialized — the paper retrains
+  /// the recognition model each dream phase because the library changed.
+  RecognitionModel(const Grammar &G, const TaskFeaturizer &F,
+                   const RecognitionParams &Params = {});
+
+  /// Trains on replays + fantasies. Fantasies are drawn internally from
+  /// \p G using the seeds of \p ReplayTasks (paper: inputs are sampled
+  /// from the empirical distribution of training inputs); a custom
+  /// \p Hook adapts fantasy construction for non-I/O domains.
+  void train(const std::vector<Frontier> &Replays,
+             const std::vector<TaskPtr> &ReplayTasks,
+             const FantasyHook &Hook = defaultFantasyTask);
+
+  /// Trains from explicit (task, program) pairs (tests, Fig 6).
+  void trainOnPairs(const std::vector<Fantasy> &Pairs);
+
+  /// Task-conditioned bigram grammar for enumeration.
+  ContextualGrammar predict(const Task &T) const;
+
+  /// Unigram variant (only meaningful with Bigram = false, but always
+  /// available: it reads the start slot).
+  Grammar predictUnigram(const Task &T) const;
+
+  /// Average training loss of the most recent train() call (diagnostics).
+  double lastLoss() const { return LastLoss; }
+
+  int slotCount() const { return NumSlots; }
+  int childCount() const { return NumChildren; }
+
+private:
+  int slotIndex(int ParentIdx, int ArgIdx) const;
+  /// Cross-entropy loss + gradient for one (task, program) pair; returns
+  /// the loss, accumulating parameter gradients.
+  double exampleLossAndGrad(const std::vector<float> &Features,
+                            const TypePtr &Request, ExprPtr Program);
+  void fillGrammarWeights(const std::vector<float> &Logits,
+                          ContextualGrammar &CG) const;
+
+  const Grammar &Base;
+  ContextualGrammar Structure; ///< uniform copy used for support queries
+  const TaskFeaturizer &Featurizer;
+  RecognitionParams Params;
+  int NumSlots = 0;
+  int NumChildren = 0; ///< productions + 1 (variable pseudo-child)
+  std::vector<int> SlotOffset; ///< per parent (start, var, productions...)
+  mutable nn::Mlp Net;
+  std::mt19937 Rng;
+  double LastLoss = 0;
+};
+
+} // namespace dc
+
+#endif // DC_CORE_RECOGNITION_H

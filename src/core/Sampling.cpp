@@ -1,0 +1,79 @@
+//===- core/Sampling.cpp - Dream-phase fantasy generation -----------------===//
+
+#include "core/Sampling.h"
+
+#include <map>
+
+using namespace dc;
+
+TaskPtr dc::defaultFantasyTask(ExprPtr Program, const TaskPtr &Seed,
+                               std::mt19937 &Rng) {
+  (void)Rng;
+  std::vector<Example> Examples;
+  std::string Signature;
+  for (const Example &Ex : Seed->examples()) {
+    ValuePtr Out = runProgram(Program, Ex.Inputs, Seed->stepBudget());
+    if (!Out)
+      return nullptr;
+    // Dreams whose outputs are functions or opaque objects cannot be
+    // compared for the MAP grouping; discard them.
+    if (Out->isCallable())
+      return nullptr;
+    Examples.push_back({Ex.Inputs, Out});
+    Signature += Out->show() + ";";
+  }
+  if (Examples.empty())
+    return nullptr;
+  return std::make_shared<Task>("fantasy:" + Signature, Seed->request(),
+                                std::move(Examples));
+}
+
+std::vector<Fantasy> dc::sampleFantasies(const Grammar &G,
+                                         const std::vector<TaskPtr> &Seeds,
+                                         int Count, std::mt19937 &Rng,
+                                         bool MapVariant,
+                                         const FantasyHook &Hook) {
+  std::vector<Fantasy> Out;
+  if (Seeds.empty() || Count <= 0)
+    return Out;
+
+  // Keyed by task observation signature; value is the best fantasy so far.
+  std::map<std::string, Fantasy> ByObservation;
+  std::uniform_int_distribution<size_t> PickSeed(0, Seeds.size() - 1);
+
+  int Attempts = Count * 6; // sampling and execution both may fail
+  for (int I = 0; I < Attempts; ++I) {
+    bool Enough = MapVariant
+                      ? static_cast<int>(ByObservation.size()) >= Count
+                      : static_cast<int>(Out.size()) >= Count;
+    if (Enough)
+      break;
+    const TaskPtr &Seed = Seeds[PickSeed(Rng)];
+    ExprPtr P = G.sample(Seed->request(), Rng);
+    if (!P)
+      continue;
+    TaskPtr T = Hook(P, Seed, Rng);
+    if (!T)
+      continue;
+    double LogPrior = G.logLikelihood(T->request(), P);
+    if (!(LogPrior > -1e17))
+      continue;
+    Fantasy F{T, P, LogPrior};
+    if (!MapVariant) {
+      Out.push_back(std::move(F));
+      continue;
+    }
+    auto It = ByObservation.find(T->name());
+    if (It == ByObservation.end())
+      ByObservation.emplace(T->name(), std::move(F));
+    else if (LogPrior > It->second.LogPrior)
+      It->second = std::move(F); // MAP target: highest-prior equivalent
+  }
+
+  if (MapVariant)
+    for (auto &[Sig, F] : ByObservation) {
+      (void)Sig;
+      Out.push_back(std::move(F));
+    }
+  return Out;
+}

@@ -1,0 +1,62 @@
+//===- core/Sampling.h - Dream-phase fantasy generation -------------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fantasies (paper §4): random programs drawn from the current library,
+/// executed to produce tasks, forming unlimited self-supervised training
+/// data for the recognition model. Inputs are sampled from the empirical
+/// distribution of inputs in the training corpus.
+///
+/// Under the L^MAP objective the training target for a dreamed task is the
+/// *highest-prior* program among those producing the same outputs — this is
+/// what teaches the recognition model to break syntactic symmetries
+/// (Appendix H). Under L^post every sampled program is its own target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_SAMPLING_H
+#define DC_CORE_SAMPLING_H
+
+#include "core/Grammar.h"
+#include "core/Task.h"
+
+#include <random>
+
+namespace dc {
+
+/// One dreamed (task, target program) pair.
+struct Fantasy {
+  TaskPtr T;
+  ExprPtr Program;
+  double LogPrior;
+};
+
+/// Builds a task from a dreamed program: runs it on the example inputs of a
+/// randomly chosen seed task and packages the outputs. Returns nullptr when
+/// the program fails on any input (such dreams are discarded). Domains with
+/// non-I/O tasks (graphics, regexes) substitute their own hook.
+using FantasyHook =
+    std::function<TaskPtr(ExprPtr Program, const TaskPtr &Seed,
+                          std::mt19937 &Rng)>;
+
+/// The default hook: execute on the seed task's inputs; exact-match task.
+TaskPtr defaultFantasyTask(ExprPtr Program, const TaskPtr &Seed,
+                           std::mt19937 &Rng);
+
+/// Draws up to \p Count fantasies from \p G. When \p MapVariant is true,
+/// fantasies whose tasks have identical observations are collapsed to the
+/// single highest-prior program (the L^MAP target construction of paper
+/// Algorithm 3); otherwise every sampled program is kept (L^post).
+std::vector<Fantasy> sampleFantasies(const Grammar &G,
+                                     const std::vector<TaskPtr> &Seeds,
+                                     int Count, std::mt19937 &Rng,
+                                     bool MapVariant = true,
+                                     const FantasyHook &Hook =
+                                         defaultFantasyTask);
+
+} // namespace dc
+
+#endif // DC_CORE_SAMPLING_H

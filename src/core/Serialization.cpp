@@ -1,0 +1,170 @@
+//===- core/Serialization.cpp - Checkpointing grammars and frontiers ------===//
+
+#include "core/Serialization.h"
+
+#include "core/ProgramParser.h"
+
+#include <fstream>
+#include <sstream>
+
+using namespace dc;
+
+namespace {
+
+/// Task names may contain spaces; frontier headers take the rest of the
+/// line. Newlines inside names are not representable and are replaced.
+std::string sanitizeName(const std::string &Name) {
+  std::string Out = Name;
+  for (char &C : Out)
+    if (C == '\n' || C == '\r')
+      C = ' ';
+  return Out;
+}
+
+bool fail(std::string *ErrorOut, const std::string &Msg) {
+  if (ErrorOut && ErrorOut->empty())
+    *ErrorOut = Msg;
+  return false;
+}
+
+} // namespace
+
+void dc::serializeGrammar(const Grammar &G, std::ostream &Out) {
+  Out << "grammar v1\n";
+  Out << "logVariable " << G.logVariable() << "\n";
+  for (const Production &P : G.productions())
+    Out << "production " << P.LogWeight << " " << P.Program->show() << "\n";
+  Out << "end\n";
+}
+
+std::optional<Grammar> dc::deserializeGrammar(std::istream &In,
+                                              std::string *ErrorOut) {
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "grammar v1") {
+    fail(ErrorOut, "missing 'grammar v1' header");
+    return std::nullopt;
+  }
+  Grammar G;
+  while (std::getline(In, Line)) {
+    if (Line == "end")
+      return G;
+    std::istringstream LS(Line);
+    std::string Tag;
+    LS >> Tag;
+    if (Tag == "logVariable") {
+      double LV;
+      if (!(LS >> LV)) {
+        fail(ErrorOut, "malformed logVariable line");
+        return std::nullopt;
+      }
+      G.setLogVariable(LV);
+    } else if (Tag == "production") {
+      double W;
+      if (!(LS >> W)) {
+        fail(ErrorOut, "malformed production weight");
+        return std::nullopt;
+      }
+      std::string Source;
+      std::getline(LS, Source);
+      std::string Err;
+      ExprPtr P = parseProgram(Source, &Err);
+      if (!P) {
+        fail(ErrorOut, "production parse error: " + Err);
+        return std::nullopt;
+      }
+      int Idx = G.addProduction(P);
+      G.productions()[Idx].LogWeight = W;
+    } else {
+      fail(ErrorOut, "unknown grammar line tag '" + Tag + "'");
+      return std::nullopt;
+    }
+  }
+  fail(ErrorOut, "grammar block missing 'end'");
+  return std::nullopt;
+}
+
+void dc::serializeFrontiers(const std::vector<Frontier> &Frontiers,
+                            std::ostream &Out) {
+  Out << "frontiers v1\n";
+  for (const Frontier &F : Frontiers) {
+    if (F.empty() || !F.task())
+      continue;
+    Out << "frontier " << sanitizeName(F.task()->name()) << "\n";
+    Out << "request " << F.task()->request()->show() << "\n";
+    for (const FrontierEntry &E : F.entries())
+      Out << "entry " << E.LogPrior << " " << E.LogLikelihood << " "
+          << E.Program->show() << "\n";
+  }
+  Out << "end\n";
+}
+
+int dc::deserializeFrontiers(std::vector<Frontier> &Frontiers,
+                             std::istream &In, std::string *ErrorOut) {
+  std::string Line;
+  if (!std::getline(In, Line) || Line != "frontiers v1") {
+    fail(ErrorOut, "missing 'frontiers v1' header");
+    return 0;
+  }
+  int Restored = 0;
+  Frontier *Current = nullptr;
+  while (std::getline(In, Line)) {
+    if (Line == "end")
+      return Restored;
+    std::istringstream LS(Line);
+    std::string Tag;
+    LS >> Tag;
+    if (Tag == "frontier") {
+      std::string Name;
+      std::getline(LS, Name);
+      if (!Name.empty() && Name.front() == ' ')
+        Name.erase(Name.begin());
+      Current = nullptr;
+      for (Frontier &F : Frontiers)
+        if (F.task() && F.task()->name() == Name) {
+          Current = &F;
+          break;
+        }
+    } else if (Tag == "request") {
+      continue; // informational
+    } else if (Tag == "entry") {
+      if (!Current)
+        continue; // frontier for a task not in this corpus
+      double Prior, LL;
+      if (!(LS >> Prior >> LL))
+        continue;
+      std::string Source;
+      std::getline(LS, Source);
+      ExprPtr P = parseProgram(Source);
+      if (!P)
+        continue; // primitive set changed; skip gracefully
+      Current->record({P, Prior, LL});
+      ++Restored;
+    }
+  }
+  fail(ErrorOut, "frontier block missing 'end'");
+  return Restored;
+}
+
+bool dc::saveCheckpoint(const std::string &Path, const Grammar &G,
+                        const std::vector<Frontier> &Frontiers) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  serializeGrammar(G, Out);
+  serializeFrontiers(Frontiers, Out);
+  return static_cast<bool>(Out);
+}
+
+bool dc::loadCheckpoint(const std::string &Path, Grammar &G,
+                        std::vector<Frontier> &Frontiers,
+                        std::string *ErrorOut) {
+  std::ifstream In(Path);
+  if (!In)
+    return fail(ErrorOut, "cannot open " + Path);
+  std::optional<Grammar> Loaded = deserializeGrammar(In, ErrorOut);
+  if (!Loaded)
+    return false;
+  G = std::move(*Loaded);
+  deserializeFrontiers(Frontiers, In, ErrorOut);
+  return true;
+}

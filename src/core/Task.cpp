@@ -1,0 +1,61 @@
+//===- core/Task.cpp - Synthesis tasks and solution frontiers -------------===//
+
+#include "core/Task.h"
+#include "core/Grammar.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace dc;
+
+namespace {
+constexpr double NegInf = -std::numeric_limits<double>::infinity();
+} // namespace
+
+double Task::logLikelihood(ExprPtr Program) const {
+  for (const Example &Ex : Examples) {
+    ValuePtr Out = runProgram(Program, Ex.Inputs, StepBudget);
+    if (!Out || !Out->equals(*Ex.Output))
+      return NegInf;
+  }
+  return 0.0;
+}
+
+void Frontier::record(const FrontierEntry &E, int MaxSize) {
+  for (FrontierEntry &Existing : Entries)
+    if (Existing.Program == E.Program) {
+      Existing.LogPrior = std::max(Existing.LogPrior, E.LogPrior);
+      std::sort(Entries.begin(), Entries.end(),
+                [](const FrontierEntry &A, const FrontierEntry &B) {
+                  return A.logPosterior() > B.logPosterior();
+                });
+      return;
+    }
+  Entries.push_back(E);
+  std::sort(Entries.begin(), Entries.end(),
+            [](const FrontierEntry &A, const FrontierEntry &B) {
+              return A.logPosterior() > B.logPosterior();
+            });
+  if (static_cast<int>(Entries.size()) > MaxSize)
+    Entries.resize(MaxSize);
+}
+
+const FrontierEntry *Frontier::best() const {
+  return Entries.empty() ? nullptr : &Entries.front();
+}
+
+void Frontier::rescore(const Grammar &G) {
+  std::vector<FrontierEntry> Keep;
+  for (FrontierEntry &E : Entries) {
+    double LP = G.logLikelihood(TheTask->request(), E.Program);
+    if (LP == NegInf)
+      continue;
+    E.LogPrior = LP;
+    Keep.push_back(E);
+  }
+  Entries = std::move(Keep);
+  std::sort(Entries.begin(), Entries.end(),
+            [](const FrontierEntry &A, const FrontierEntry &B) {
+              return A.logPosterior() > B.logPosterior();
+            });
+}

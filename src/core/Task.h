@@ -1,0 +1,101 @@
+//===- core/Task.h - Synthesis tasks and solution frontiers ---------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Task is one synthesis problem: a requested type plus a likelihood
+/// function P[x|ρ] over programs. The default likelihood is the paper's
+/// exact-match criterion — 1 iff the program maps every example input to
+/// its output — and domains with probabilistic or tolerance-based scoring
+/// (regexes, symbolic regression, graphics) subclass Task.
+///
+/// A Frontier is the beam B_x of the paper: the best ≤5 (program, prior,
+/// likelihood) triples found for one task.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_TASK_H
+#define DC_CORE_TASK_H
+
+#include "core/Evaluator.h"
+
+#include <memory>
+
+namespace dc {
+
+/// One input/output example. Inputs are applied to the program in order.
+struct Example {
+  std::vector<ValuePtr> Inputs;
+  ValuePtr Output;
+};
+
+/// A synthesis problem.
+class Task {
+public:
+  Task(std::string Name, TypePtr Request, std::vector<Example> Examples)
+      : Name(std::move(Name)), Request(canonicalize(Request)),
+        Examples(std::move(Examples)) {}
+  virtual ~Task() = default;
+
+  const std::string &name() const { return Name; }
+  const TypePtr &request() const { return Request; }
+  const std::vector<Example> &examples() const { return Examples; }
+
+  /// log P[x|ρ]: 0 when \p Program reproduces every example, -inf
+  /// otherwise. Domains override for graded likelihoods.
+  virtual double logLikelihood(ExprPtr Program) const;
+
+  /// Per-evaluation step budget (divergence guard).
+  long stepBudget() const { return StepBudget; }
+  void setStepBudget(long B) { StepBudget = B; }
+
+protected:
+  std::string Name;
+  TypePtr Request;
+  std::vector<Example> Examples;
+  long StepBudget = 50000;
+};
+
+using TaskPtr = std::shared_ptr<Task>;
+
+/// One member of a task's beam.
+struct FrontierEntry {
+  ExprPtr Program = nullptr;
+  double LogPrior = 0;      ///< log P[ρ|D,θ] at discovery time
+  double LogLikelihood = 0; ///< log P[x|ρ]
+
+  double logPosterior() const { return LogPrior + LogLikelihood; }
+};
+
+/// The beam B_x: up to MaxSize best programs for one task.
+class Frontier {
+public:
+  Frontier() = default;
+  explicit Frontier(TaskPtr T) : TheTask(std::move(T)) {}
+
+  const TaskPtr &task() const { return TheTask; }
+  const std::vector<FrontierEntry> &entries() const { return Entries; }
+  std::vector<FrontierEntry> &entries() { return Entries; }
+  bool empty() const { return Entries.empty(); }
+
+  /// Inserts \p E, keeping at most \p MaxSize entries ordered by descending
+  /// posterior. Duplicate programs are merged (the better prior wins).
+  void record(const FrontierEntry &E, int MaxSize = 5);
+
+  /// Highest-posterior entry; nullptr when empty.
+  const FrontierEntry *best() const;
+
+  /// Recomputes each entry's LogPrior under \p G and re-sorts. Entries that
+  /// fall outside the grammar's support are dropped.
+  void rescore(const class Grammar &G);
+
+private:
+  TaskPtr TheTask;
+  std::vector<FrontierEntry> Entries;
+};
+
+} // namespace dc
+
+#endif // DC_CORE_TASK_H

@@ -1,0 +1,288 @@
+//===- core/Type.cpp - Polymorphic types implementation -------------------===//
+
+#include "core/Type.h"
+
+#include <functional>
+#include <map>
+#include <sstream>
+
+using namespace dc;
+
+TypePtr Type::variable(int Id) {
+  auto T = std::shared_ptr<Type>(new Type(Kind::Variable));
+  T->VarId = Id;
+  return T;
+}
+
+TypePtr Type::constructor(std::string Name, std::vector<TypePtr> Args) {
+  auto T = std::shared_ptr<Type>(new Type(Kind::Constructor));
+  T->ConName = std::move(Name);
+  T->Args = std::move(Args);
+  return T;
+}
+
+TypePtr Type::arrow(TypePtr From, TypePtr To) {
+  return constructor("->", {std::move(From), std::move(To)});
+}
+
+TypePtr Type::arrows(const std::vector<TypePtr> &Args, TypePtr Ret) {
+  TypePtr T = std::move(Ret);
+  for (auto It = Args.rbegin(); It != Args.rend(); ++It)
+    T = arrow(*It, T);
+  return T;
+}
+
+bool Type::isArrow() const {
+  return TheKind == Kind::Constructor && ConName == "->" && Args.size() == 2;
+}
+
+std::string Type::show() const {
+  if (isVariable()) {
+    std::ostringstream OS;
+    OS << "t" << VarId;
+    return OS.str();
+  }
+  if (isArrow()) {
+    const Type &Lhs = *Args[0];
+    std::string Left =
+        Lhs.isArrow() ? "(" + Lhs.show() + ")" : Lhs.show();
+    return Left + " -> " + Args[1]->show();
+  }
+  if (Args.empty())
+    return ConName;
+  std::string Out = ConName + "(";
+  for (size_t I = 0; I < Args.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += Args[I]->show();
+  }
+  Out += ")";
+  return Out;
+}
+
+bool Type::isMonomorphic() const {
+  if (isVariable())
+    return false;
+  for (const TypePtr &A : Args)
+    if (!A->isMonomorphic())
+      return false;
+  return true;
+}
+
+void Type::collectVariables(std::vector<int> &Out) const {
+  if (isVariable()) {
+    for (int Existing : Out)
+      if (Existing == VarId)
+        return;
+    Out.push_back(VarId);
+    return;
+  }
+  for (const TypePtr &A : Args)
+    A->collectVariables(Out);
+}
+
+bool Type::equals(const Type &Other) const {
+  if (TheKind != Other.TheKind)
+    return false;
+  if (isVariable())
+    return VarId == Other.VarId;
+  if (ConName != Other.ConName || Args.size() != Other.Args.size())
+    return false;
+  for (size_t I = 0; I < Args.size(); ++I)
+    if (!Args[I]->equals(*Other.Args[I]))
+      return false;
+  return true;
+}
+
+std::vector<TypePtr> dc::functionArguments(const TypePtr &T) {
+  std::vector<TypePtr> Out;
+  const Type *Cur = T.get();
+  TypePtr Hold = T;
+  while (Cur->isArrow()) {
+    Out.push_back(Cur->arrowArgument());
+    Hold = Cur->arrowResult();
+    Cur = Hold.get();
+  }
+  return Out;
+}
+
+TypePtr dc::functionReturn(const TypePtr &T) {
+  TypePtr Cur = T;
+  while (Cur->isArrow())
+    Cur = Cur->arrowResult();
+  return Cur;
+}
+
+int dc::functionArity(const TypePtr &T) {
+  int N = 0;
+  const Type *Cur = T.get();
+  TypePtr Hold = T;
+  while (Cur->isArrow()) {
+    ++N;
+    Hold = Cur->arrowResult();
+    Cur = Hold.get();
+  }
+  return N;
+}
+
+//===----------------------------------------------------------------------===//
+// Ground types
+//===----------------------------------------------------------------------===//
+
+// These intentionally build fresh shared nodes on every call; types are
+// compared structurally so sharing is an optimization we do not rely on.
+TypePtr dc::tInt() { return Type::constructor("int"); }
+TypePtr dc::tReal() { return Type::constructor("real"); }
+TypePtr dc::tBool() { return Type::constructor("bool"); }
+TypePtr dc::tChar() { return Type::constructor("char"); }
+TypePtr dc::tList(TypePtr Elem) {
+  return Type::constructor("list", {std::move(Elem)});
+}
+TypePtr dc::tString() { return tList(tChar()); }
+TypePtr dc::t0() { return Type::variable(0); }
+TypePtr dc::t1() { return Type::variable(1); }
+TypePtr dc::t2() { return Type::variable(2); }
+
+//===----------------------------------------------------------------------===//
+// TypeContext
+//===----------------------------------------------------------------------===//
+
+TypePtr TypeContext::makeVariable() {
+  // Fresh variables start unbound; the substitution vector grows lazily at
+  // first binding, so minting variables is allocation free.
+  return Type::variable(NextVar++);
+}
+
+TypePtr TypeContext::lookup(int Var) const {
+  if (!Substitution || Var < 0 ||
+      Var >= static_cast<int>(Substitution->size()))
+    return nullptr;
+  return (*Substitution)[Var];
+}
+
+void TypeContext::bind(int Var, TypePtr T) {
+  if (!Substitution)
+    Substitution = std::make_shared<std::vector<TypePtr>>();
+  else if (Substitution.use_count() > 1)
+    Substitution = std::make_shared<std::vector<TypePtr>>(*Substitution);
+  if (Var >= static_cast<int>(Substitution->size()))
+    Substitution->resize(Var + 1);
+  (*Substitution)[Var] = std::move(T);
+}
+
+TypePtr TypeContext::shallowResolve(const TypePtr &T) {
+  TypePtr Cur = T;
+  while (Cur->isVariable()) {
+    TypePtr Bound = lookup(Cur->variableId());
+    if (!Bound)
+      return Cur;
+    Cur = Bound;
+  }
+  return Cur;
+}
+
+namespace {
+
+/// Recursive worker for TypeContext::instantiate.
+TypePtr instantiateRec(TypeContext &Ctx, const TypePtr &U,
+                       std::map<int, TypePtr> &Renaming) {
+  if (U->isVariable()) {
+    auto It = Renaming.find(U->variableId());
+    if (It != Renaming.end())
+      return It->second;
+    TypePtr Fresh = Ctx.makeVariable();
+    Renaming.emplace(U->variableId(), Fresh);
+    return Fresh;
+  }
+  if (U->arguments().empty() || U->isMonomorphic())
+    return U;
+  std::vector<TypePtr> NewArgs;
+  NewArgs.reserve(U->arguments().size());
+  for (const TypePtr &A : U->arguments())
+    NewArgs.push_back(instantiateRec(Ctx, A, Renaming));
+  return Type::constructor(U->name(), std::move(NewArgs));
+}
+
+} // namespace
+
+TypePtr TypeContext::instantiate(const TypePtr &T) {
+  if (T->isMonomorphic())
+    return T; // nothing to rename; avoids all allocation
+  std::map<int, TypePtr> Renaming;
+  return instantiateRec(*this, T, Renaming);
+}
+
+TypePtr TypeContext::apply(const TypePtr &T) {
+  TypePtr R = shallowResolve(T);
+  if (R->isVariable())
+    return R;
+  if (R->arguments().empty())
+    return R;
+  std::vector<TypePtr> NewArgs;
+  NewArgs.reserve(R->arguments().size());
+  bool Changed = false;
+  for (const TypePtr &A : R->arguments()) {
+    TypePtr NA = apply(A);
+    Changed = Changed || NA.get() != A.get();
+    NewArgs.push_back(std::move(NA));
+  }
+  if (!Changed)
+    return R;
+  return Type::constructor(R->name(), std::move(NewArgs));
+}
+
+bool TypeContext::occurs(int Var, const TypePtr &T) {
+  TypePtr R = shallowResolve(T);
+  if (R->isVariable())
+    return R->variableId() == Var;
+  for (const TypePtr &A : R->arguments())
+    if (occurs(Var, A))
+      return true;
+  return false;
+}
+
+bool TypeContext::unify(const TypePtr &A, const TypePtr &B) {
+  TypePtr X = shallowResolve(A);
+  TypePtr Y = shallowResolve(B);
+  if (X->isVariable() && Y->isVariable() &&
+      X->variableId() == Y->variableId())
+    return true;
+  if (X->isVariable()) {
+    if (occurs(X->variableId(), Y))
+      return false;
+    bind(X->variableId(), Y);
+    return true;
+  }
+  if (Y->isVariable())
+    return unify(Y, X);
+  if (X->name() != Y->name() ||
+      X->arguments().size() != Y->arguments().size())
+    return false;
+  for (size_t I = 0; I < X->arguments().size(); ++I)
+    if (!unify(X->arguments()[I], Y->arguments()[I]))
+      return false;
+  return true;
+}
+
+TypePtr dc::canonicalize(const TypePtr &T) {
+  std::map<int, int> Renaming;
+  std::function<TypePtr(const TypePtr &)> Go =
+      [&](const TypePtr &U) -> TypePtr {
+    if (U->isVariable()) {
+      auto It = Renaming.find(U->variableId());
+      if (It == Renaming.end())
+        It = Renaming.emplace(U->variableId(),
+                              static_cast<int>(Renaming.size()))
+                 .first;
+      return Type::variable(It->second);
+    }
+    if (U->arguments().empty())
+      return U;
+    std::vector<TypePtr> NewArgs;
+    NewArgs.reserve(U->arguments().size());
+    for (const TypePtr &A : U->arguments())
+      NewArgs.push_back(Go(A));
+    return Type::constructor(U->name(), std::move(NewArgs));
+  };
+  return Go(T);
+}

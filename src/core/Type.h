@@ -1,0 +1,191 @@
+//===- core/Type.h - Polymorphic types for typed lambda calculus ---------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hindley-Milner style polymorphic types used throughout the system. A type
+/// is either a type variable (written t0, t1, ...) or a constructor applied
+/// to argument types (e.g. int, list(int), int -> bool). Function types are
+/// represented as the binary constructor "->".
+///
+/// Types are immutable and shared via std::shared_ptr. Unification lives in
+/// TypeContext (core/TypeContext.h semantics are folded into this header to
+/// keep the dependency graph flat).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_TYPE_H
+#define DC_CORE_TYPE_H
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dc {
+
+class Type;
+
+/// Shared immutable handle to a type node.
+using TypePtr = std::shared_ptr<const Type>;
+
+/// A polymorphic type: either a variable or a constructor application.
+class Type {
+public:
+  enum class Kind { Variable, Constructor };
+
+  /// Creates a type variable with the given id.
+  static TypePtr variable(int Id);
+
+  /// Creates a nullary or applied type constructor.
+  static TypePtr constructor(std::string Name, std::vector<TypePtr> Args = {});
+
+  /// Creates the function type \p From -> \p To.
+  static TypePtr arrow(TypePtr From, TypePtr To);
+
+  /// Creates a right-nested arrow from argument types to a return type.
+  static TypePtr arrows(const std::vector<TypePtr> &Args, TypePtr Ret);
+
+  Kind kind() const { return TheKind; }
+  bool isVariable() const { return TheKind == Kind::Variable; }
+  bool isConstructor() const { return TheKind == Kind::Constructor; }
+  bool isArrow() const;
+
+  /// Variable id; only valid when isVariable().
+  int variableId() const {
+    assert(isVariable() && "not a type variable");
+    return VarId;
+  }
+
+  /// Constructor name; only valid when isConstructor().
+  const std::string &name() const {
+    assert(isConstructor() && "not a constructor");
+    return ConName;
+  }
+
+  /// Constructor arguments; only valid when isConstructor().
+  const std::vector<TypePtr> &arguments() const {
+    assert(isConstructor() && "not a constructor");
+    return Args;
+  }
+
+  /// For an arrow type, the argument (left) side.
+  const TypePtr &arrowArgument() const {
+    assert(isArrow() && "not an arrow type");
+    return Args[0];
+  }
+
+  /// For an arrow type, the result (right) side.
+  const TypePtr &arrowResult() const {
+    assert(isArrow() && "not an arrow type");
+    return Args[1];
+  }
+
+  /// Renders the type with the conventional infix arrow, e.g.
+  /// "int -> list(int) -> bool".
+  std::string show() const;
+
+  /// True if the type contains no type variables.
+  bool isMonomorphic() const;
+
+  /// Collects the distinct variable ids occurring in this type, in first
+  /// occurrence order.
+  void collectVariables(std::vector<int> &Out) const;
+
+  /// Structural equality (ignores sharing).
+  bool equals(const Type &Other) const;
+
+private:
+  Type(Kind K) : TheKind(K) {}
+
+  Kind TheKind;
+  int VarId = 0;
+  std::string ConName;
+  std::vector<TypePtr> Args;
+};
+
+/// Returns the list of curried argument types of \p T (empty when \p T is not
+/// an arrow) — e.g. for a -> b -> c returns [a, b].
+std::vector<TypePtr> functionArguments(const TypePtr &T);
+
+/// Returns the final return type of \p T after stripping all arrows.
+TypePtr functionReturn(const TypePtr &T);
+
+/// Number of curried arguments of \p T.
+int functionArity(const TypePtr &T);
+
+//===----------------------------------------------------------------------===//
+// Common ground types
+//===----------------------------------------------------------------------===//
+
+TypePtr tInt();
+TypePtr tReal();
+TypePtr tBool();
+TypePtr tChar();
+TypePtr tList(TypePtr Elem);
+TypePtr tString(); ///< Convenience: list(char).
+TypePtr t0();      ///< Type variable 0.
+TypePtr t1();      ///< Type variable 1.
+TypePtr t2();      ///< Type variable 2.
+
+//===----------------------------------------------------------------------===//
+// TypeContext — substitution environment for unification
+//===----------------------------------------------------------------------===//
+
+/// Mutable unification context: maps type-variable ids to bindings and mints
+/// fresh variables. Copies are cheap enough for branch-and-bound enumeration
+/// (the substitution is a flat vector).
+class TypeContext {
+public:
+  TypeContext() = default;
+
+  /// Mints a fresh, unbound type variable.
+  TypePtr makeVariable();
+
+  /// Number of variables allocated so far.
+  int variableCount() const { return NextVar; }
+
+  /// Binds every variable occurring in \p T to fresh variables, returning the
+  /// renamed type. This is how polymorphic library entries are instantiated
+  /// at each use site.
+  TypePtr instantiate(const TypePtr &T);
+
+  /// Resolves \p T under the current substitution (deep walk).
+  TypePtr apply(const TypePtr &T);
+
+  /// Follows variable bindings at the head only — O(chain) and allocation
+  /// free. Sufficient for dispatching on arrow-ness or the head constructor;
+  /// argument positions may still contain bound variables.
+  TypePtr resolve(const TypePtr &T) { return shallowResolve(T); }
+
+  /// Attempts to unify \p A and \p B, extending the substitution. Returns
+  /// false (leaving the context in a valid but possibly partially-extended
+  /// state) when the types cannot be unified; callers that need rollback
+  /// should copy the context first.
+  bool unify(const TypePtr &A, const TypePtr &B);
+
+private:
+  TypePtr lookup(int Var) const;
+  /// Walks variable chains until hitting an unbound variable or constructor.
+  TypePtr shallowResolve(const TypePtr &T);
+  bool occurs(int Var, const TypePtr &T);
+  void bind(int Var, TypePtr T);
+
+  int NextVar = 0;
+  /// Copy-on-write substitution, indexed by variable id (null entry or
+  /// out-of-range id = free variable). Contexts are copied once per
+  /// candidate during enumeration, so copies must be O(1); only a context
+  /// that actually binds a variable pays for a clone.
+  std::shared_ptr<std::vector<TypePtr>> Substitution;
+};
+
+/// Renames the variables of \p T to 0,1,2,... in order of first occurrence.
+/// Canonical types are suitable as map keys via show().
+TypePtr canonicalize(const TypePtr &T);
+
+} // namespace dc
+
+#endif // DC_CORE_TYPE_H

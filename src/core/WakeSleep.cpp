@@ -1,0 +1,298 @@
+//===- core/WakeSleep.cpp - The DreamCoder wake-sleep loop ----------------===//
+
+#include "core/WakeSleep.h"
+
+#include "core/LikelihoodSummary.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+using namespace dc;
+
+const char *dc::variantName(SystemVariant V) {
+  switch (V) {
+  case SystemVariant::Full:
+    return "DreamCoder";
+  case SystemVariant::NoRecognition:
+    return "No Recognition";
+  case SystemVariant::NoAbstraction:
+    return "No Abstraction";
+  case SystemVariant::MemorizeNoRec:
+    return "Memorize";
+  case SystemVariant::MemorizeRec:
+    return "Memorize+Rec";
+  case SystemVariant::Ec:
+    return "EC";
+  case SystemVariant::Ec2:
+    return "EC2 (batched)";
+  case SystemVariant::EnumerationOnly:
+    return "Enumeration";
+  }
+  return "?";
+}
+
+int WakeSleepResult::trainSolved() const {
+  int N = 0;
+  for (const Frontier &F : TrainFrontiers)
+    N += !F.empty();
+  return N;
+}
+
+namespace {
+
+bool usesRecognition(SystemVariant V) {
+  return V == SystemVariant::Full || V == SystemVariant::NoAbstraction ||
+         V == SystemVariant::MemorizeRec || V == SystemVariant::Ec2;
+}
+
+bool usesCompression(SystemVariant V) {
+  return V == SystemVariant::Full || V == SystemVariant::NoRecognition ||
+         V == SystemVariant::Ec || V == SystemVariant::Ec2;
+}
+
+bool usesMemorize(SystemVariant V) {
+  return V == SystemVariant::MemorizeNoRec ||
+         V == SystemVariant::MemorizeRec;
+}
+
+/// The memorize baseline (cf. [8]): every solved task's best program is
+/// added to the library wholesale; weights are refit on the frontiers.
+Grammar memorizeSolutions(const Grammar &G,
+                          const std::vector<Frontier> &Frontiers,
+                          const CompressionParams &Params) {
+  Grammar Out = G;
+  for (const Frontier &F : Frontiers) {
+    if (F.empty())
+      continue;
+    ExprPtr Best = F.best()->Program;
+    if (!Best->isClosed() || Best->isLeafLike() || !Best->inferType())
+      continue;
+    Out.addProduction(Expr::invented(Best));
+  }
+  libraryScore(Out, Frontiers, Params); // refit θ in place
+  return Out;
+}
+
+} // namespace
+
+namespace {
+
+/// Recognition-era search: the task-conditioned bigram grammar drives a
+/// per-task enumeration with half the node budget; tasks it leaves
+/// unsolved fall back to a shared generative-grammar enumeration with the
+/// other half. (The paper gives the recognition model the full per-task
+/// timeout on a cluster; at this reproduction's reduced training scale a
+/// noisy Q would otherwise forfeit the shared-stream advantage of
+/// same-type tasks — see DESIGN.md.)
+std::vector<Frontier> hybridSolve(const Grammar &G,
+                                  const RecognitionModel &Model,
+                                  const std::vector<TaskPtr> &Tasks,
+                                  const EnumerationParams &Search,
+                                  EnumerationStats *Stats) {
+  EnumerationParams Half = Search;
+  Half.NodeBudget = std::max<long>(1, Search.NodeBudget / 2);
+  std::vector<Frontier> Out;
+  Out.reserve(Tasks.size());
+  std::vector<TaskPtr> Unsolved;
+  std::vector<size_t> UnsolvedIdx;
+  std::vector<long> GuidedEffort;
+  for (size_t I = 0; I < Tasks.size(); ++I) {
+    ContextualGrammar CG = Model.predict(*Tasks[I]);
+    EnumerationStats Local;
+    Out.push_back(solveTask(CG, Tasks[I], Half, &Local));
+    GuidedEffort.push_back(Local.EffortToSolve.empty()
+                               ? -1
+                               : Local.EffortToSolve.front());
+    if (Stats) {
+      Stats->NodesExpanded += Local.NodesExpanded;
+      Stats->ProgramsEnumerated += Local.ProgramsEnumerated;
+    }
+    if (Out.back().empty()) {
+      Unsolved.push_back(Tasks[I]);
+      UnsolvedIdx.push_back(I);
+    }
+  }
+  if (!Unsolved.empty()) {
+    EnumerationStats Fallback;
+    std::vector<Frontier> Fs = solveTasks(G, Unsolved, Half, &Fallback);
+    for (size_t K = 0; K < UnsolvedIdx.size(); ++K) {
+      Out[UnsolvedIdx[K]] = Fs[K];
+      if (!Fs[K].empty() && K < Fallback.EffortToSolve.size())
+        GuidedEffort[UnsolvedIdx[K]] = Fallback.EffortToSolve[K];
+    }
+    if (Stats) {
+      Stats->NodesExpanded += Fallback.NodesExpanded;
+      Stats->ProgramsEnumerated += Fallback.ProgramsEnumerated;
+    }
+  }
+  if (Stats)
+    for (long E : GuidedEffort)
+      Stats->EffortToSolve.push_back(E);
+  return Out;
+}
+
+} // namespace
+
+std::pair<int, std::vector<long>>
+dc::evaluateTasks(const Grammar &G, const RecognitionModel *Model,
+                  const std::vector<TaskPtr> &Tasks,
+                  const EnumerationParams &Search) {
+  int Solved = 0;
+  if (Model) {
+    EnumerationStats Stats;
+    std::vector<Frontier> Fs = hybridSolve(G, *Model, Tasks, Search, &Stats);
+    for (const Frontier &F : Fs)
+      Solved += !F.empty();
+    return {Solved, Stats.EffortToSolve};
+  }
+  EnumerationStats Stats;
+  std::vector<Frontier> Fs = solveTasks(G, Tasks, Search, &Stats);
+  for (const Frontier &F : Fs)
+    Solved += !F.empty();
+  return {Solved, Stats.EffortToSolve};
+}
+
+WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
+                                 const WakeSleepConfig &Config) {
+  WakeSleepResult Result;
+  Result.FinalGrammar = Grammar::uniform(Domain.BasePrimitives);
+  Result.TestTaskCount = static_cast<int>(Domain.TestTasks.size());
+  Result.TrainFrontiers.reserve(Domain.TrainTasks.size());
+  for (const TaskPtr &T : Domain.TrainTasks)
+    Result.TrainFrontiers.emplace_back(T);
+
+  std::mt19937 Rng(Config.Seed);
+  std::unique_ptr<RecognitionModel> Model;
+
+  for (int Cycle = 0; Cycle < Config.Iterations; ++Cycle) {
+    CycleMetrics Metrics;
+    Metrics.Cycle = Cycle;
+
+    // ---- Wake: random minibatch of training tasks ----------------------
+    std::vector<size_t> Order(Domain.TrainTasks.size());
+    std::iota(Order.begin(), Order.end(), 0);
+    std::shuffle(Order.begin(), Order.end(), Rng);
+    size_t BatchSize = Config.MinibatchSize > 0
+                           ? std::min(Order.size(),
+                                      static_cast<size_t>(
+                                          Config.MinibatchSize))
+                           : Order.size();
+    std::vector<size_t> Batch(Order.begin(), Order.begin() + BatchSize);
+
+    if (Model && usesRecognition(Config.Variant)) {
+      std::vector<TaskPtr> Tasks;
+      for (size_t I : Batch)
+        Tasks.push_back(Domain.TrainTasks[I]);
+      EnumerationStats Stats;
+      std::vector<Frontier> Fs =
+          hybridSolve(Result.FinalGrammar, *Model, Tasks, Domain.Search,
+                      &Stats);
+      Metrics.WakeNodesExpanded += Stats.NodesExpanded;
+      Metrics.SolveEffort = Stats.EffortToSolve;
+      for (size_t B = 0; B < Batch.size(); ++B)
+        for (const FrontierEntry &E : Fs[B].entries()) {
+          // Store the generative-prior score, not the recognition score,
+          // so compression sees P[ρ|D,θ].
+          double Prior = Result.FinalGrammar.logLikelihood(
+              Domain.TrainTasks[Batch[B]]->request(), E.Program);
+          if (Prior > -1e17)
+            Result.TrainFrontiers[Batch[B]].record(
+                {E.Program, Prior, E.LogLikelihood});
+        }
+    } else {
+      std::vector<TaskPtr> Tasks;
+      for (size_t I : Batch)
+        Tasks.push_back(Domain.TrainTasks[I]);
+      EnumerationStats Stats;
+      std::vector<Frontier> Fs =
+          solveTasks(Result.FinalGrammar, Tasks, Domain.Search, &Stats);
+      Metrics.WakeNodesExpanded += Stats.NodesExpanded;
+      Metrics.SolveEffort = Stats.EffortToSolve;
+      for (size_t B = 0; B < Batch.size(); ++B)
+        for (const FrontierEntry &E : Fs[B].entries())
+          Result.TrainFrontiers[Batch[B]].record(E);
+    }
+
+    // ---- Sleep: abstraction ---------------------------------------------
+    if (Config.Variant != SystemVariant::EnumerationOnly) {
+      std::vector<Frontier> Solved;
+      std::vector<size_t> SolvedIdx;
+      for (size_t I = 0; I < Result.TrainFrontiers.size(); ++I) {
+        // Keep priors aligned with the current grammar.
+        Result.TrainFrontiers[I].rescore(Result.FinalGrammar);
+        if (!Result.TrainFrontiers[I].empty()) {
+          Solved.push_back(Result.TrainFrontiers[I]);
+          SolvedIdx.push_back(I);
+        }
+      }
+      if (usesCompression(Config.Variant)) {
+        CompressionParams CP = Config.Compress;
+        if (Config.Variant == SystemVariant::Ec ||
+            Config.Variant == SystemVariant::Ec2)
+          CP.RefactorSteps = 0; // subtree proposals only
+        CompressionResult CR =
+            compressLibrary(Result.FinalGrammar, Solved, CP);
+        Result.FinalGrammar = CR.NewGrammar;
+        for (size_t S = 0; S < SolvedIdx.size(); ++S)
+          Result.TrainFrontiers[SolvedIdx[S]] = CR.RewrittenFrontiers[S];
+      } else if (usesMemorize(Config.Variant)) {
+        Result.FinalGrammar = memorizeSolutions(Result.FinalGrammar, Solved,
+                                                Config.Compress);
+        for (size_t I = 0; I < Result.TrainFrontiers.size(); ++I)
+          Result.TrainFrontiers[I].rescore(Result.FinalGrammar);
+      } else {
+        // Recognition-only: still refit θ on what waking found.
+        libraryScore(Result.FinalGrammar, Solved, Config.Compress);
+      }
+    }
+
+    // ---- Sleep: dreaming -------------------------------------------------
+    if (usesRecognition(Config.Variant)) {
+      RecognitionParams RP = Config.Recog;
+      RP.Seed = Config.Seed + 77 * Cycle + 1;
+      if (Config.Variant == SystemVariant::Ec2) {
+        RP.Bigram = false;       // EC2 uses a unigram parameterization
+        RP.MapObjective = false; // ... trained on the full posterior
+      }
+      Model = std::make_unique<RecognitionModel>(Result.FinalGrammar,
+                                                 *Domain.Featurizer, RP);
+      Model->train(Result.TrainFrontiers, Domain.TrainTasks, Domain.Hook);
+    }
+
+    // ---- Metrics ----------------------------------------------------------
+    Metrics.TrainSolvedCumulative = Result.trainSolved();
+    Metrics.LibrarySize = static_cast<int>(
+        Result.FinalGrammar.productions().size());
+    Metrics.LibraryDepth = Result.FinalGrammar.libraryDepth();
+    bool LastCycle = Cycle + 1 == Config.Iterations;
+    if ((Config.EvaluateTestEachCycle || LastCycle) &&
+        !Domain.TestTasks.empty()) {
+      auto [Solved, Efforts] =
+          evaluateTasks(Result.FinalGrammar,
+                        usesRecognition(Config.Variant) ? Model.get()
+                                                        : nullptr,
+                        Domain.TestTasks, Domain.Search);
+      Metrics.TestSolved = Solved;
+      if (LastCycle) {
+        Result.FinalTestSolved = Solved;
+        Result.FinalTestEffort = Efforts;
+      }
+    }
+    if (Config.Verbose)
+      std::fprintf(stderr,
+                   "[%s] cycle %d: train %d/%zu, test %d/%zu, library %d "
+                   "(depth %d)\n",
+                   variantName(Config.Variant), Cycle,
+                   Metrics.TrainSolvedCumulative, Domain.TrainTasks.size(),
+                   Metrics.TestSolved, Domain.TestTasks.size(),
+                   Metrics.LibrarySize, Metrics.LibraryDepth);
+    Result.Cycles.push_back(std::move(Metrics));
+  }
+
+  if (Domain.TestTasks.empty()) {
+    Result.FinalTestSolved = 0;
+    Result.TestTaskCount = 0;
+  }
+  return Result;
+}

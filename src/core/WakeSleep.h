@@ -1,0 +1,104 @@
+//===- core/WakeSleep.h - The DreamCoder wake-sleep loop ------------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The full algorithm of paper §2: iterate
+///
+///   Wake        — solve a random minibatch of training tasks by
+///                 enumeration, guided by the recognition model when one
+///                 has been trained (beams |B_x| = 5);
+///   Abstraction — grow the library by compressing the discovered
+///                 programs via version-space refactoring (vs/Compression);
+///   Dreaming    — retrain the recognition model on replays + fantasies.
+///
+/// Ablations and baselines from the evaluation (Fig 7) are expressed as
+/// SystemVariant values; see DESIGN.md for the mapping to the paper's
+/// conditions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_WAKESLEEP_H
+#define DC_CORE_WAKESLEEP_H
+
+#include "core/Recognition.h"
+#include "domains/Domain.h"
+#include "vs/Compression.h"
+
+namespace dc {
+
+/// The evaluation's systems (paper Fig 7A-B).
+enum class SystemVariant {
+  Full,           ///< DreamCoder: refactoring compression + recognition
+  NoRecognition,  ///< abstraction sleep only
+  NoAbstraction,  ///< dream sleep only (fixed library)
+  MemorizeNoRec,  ///< task solutions added to the library wholesale
+  MemorizeRec,    ///< memorize + recognition model
+  Ec,             ///< subtree-only compression, no recognition [10]
+  Ec2,            ///< subtree compression + unigram L^post recognition [14]
+  EnumerationOnly ///< no learning at all
+};
+
+/// Human-readable variant name (benchmark tables).
+const char *variantName(SystemVariant V);
+
+/// Loop configuration.
+struct WakeSleepConfig {
+  SystemVariant Variant = SystemVariant::Full;
+  int Iterations = 6;
+  /// Tasks attempted per wake phase (0 = the whole corpus, as EC2 does).
+  int MinibatchSize = 0;
+  CompressionParams Compress;
+  RecognitionParams Recog;
+  /// When false, test tasks are only evaluated after the final cycle.
+  bool EvaluateTestEachCycle = true;
+  unsigned Seed = 0;
+  bool Verbose = false;
+};
+
+/// Per-cycle measurements (Fig 7C-D and the solve-effort figures).
+struct CycleMetrics {
+  int Cycle = 0;
+  int TrainSolvedCumulative = 0;
+  int TestSolved = -1; ///< -1 when test evaluation was skipped this cycle
+  int LibrarySize = 0;
+  int LibraryDepth = 0;
+  long WakeNodesExpanded = 0;
+  /// Programs enumerated before each minibatch task's first solve (-1 =
+  /// unsolved) — the deterministic analog of the paper's solve times.
+  std::vector<long> SolveEffort;
+};
+
+/// Outcome of a full run.
+struct WakeSleepResult {
+  Grammar FinalGrammar;
+  std::vector<Frontier> TrainFrontiers; ///< aligned with TrainTasks
+  std::vector<CycleMetrics> Cycles;
+  int FinalTestSolved = 0;
+  int TestTaskCount = 0;
+  std::vector<long> FinalTestEffort;
+
+  double finalTestAccuracy() const {
+    return TestTaskCount == 0
+               ? 0.0
+               : static_cast<double>(FinalTestSolved) / TestTaskCount;
+  }
+  int trainSolved() const;
+};
+
+/// Runs the wake-sleep loop for \p Config.Iterations cycles on \p Domain.
+WakeSleepResult runWakeSleep(const DomainSpec &Domain,
+                             const WakeSleepConfig &Config);
+
+/// Evaluates \p G (optionally with a recognition model trained for it) on
+/// \p Tasks; returns the number solved and per-task efforts.
+std::pair<int, std::vector<long>>
+evaluateTasks(const Grammar &G, const RecognitionModel *Model,
+              const std::vector<TaskPtr> &Tasks,
+              const EnumerationParams &Search);
+
+} // namespace dc
+
+#endif // DC_CORE_WAKESLEEP_H

@@ -1,0 +1,46 @@
+//===- domains/Domain.h - Common domain packaging --------------------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Each of the paper's eight evaluation domains packages the same four
+/// things: a base language (primitives), a corpus of train/test tasks, a
+/// task featurizer for the recognition model, and (for non-I/O domains) a
+/// fantasy hook that turns dreamed programs into tasks. The wake-sleep
+/// driver and every benchmark consume this uniform shape.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_DOMAINS_DOMAIN_H
+#define DC_DOMAINS_DOMAIN_H
+
+#include "core/Enumeration.h"
+#include "core/Featurizer.h"
+#include "core/Sampling.h"
+
+#include <memory>
+
+namespace dc {
+
+/// A fully assembled evaluation domain.
+struct DomainSpec {
+  std::string Name;
+  std::vector<ExprPtr> BasePrimitives;
+  std::vector<TaskPtr> TrainTasks;
+  std::vector<TaskPtr> TestTasks;
+  std::shared_ptr<TaskFeaturizer> Featurizer;
+  FantasyHook Hook = defaultFantasyTask;
+  /// Domain-tuned search budgets (the analog of the paper's per-domain
+  /// enumeration timeouts).
+  EnumerationParams Search;
+};
+
+/// Convenience builders used by every task generator.
+ValuePtr intList(const std::vector<long> &Xs);
+ValuePtr realList(const std::vector<double> &Xs);
+
+} // namespace dc
+
+#endif // DC_DOMAINS_DOMAIN_H

@@ -1,0 +1,363 @@
+//===- domains/ListDomain.cpp - List-processing domain --------------------===//
+
+#include "domains/ListDomain.h"
+
+#include "core/Primitives.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace dc;
+
+ValuePtr dc::intList(const std::vector<long> &Xs) {
+  std::vector<ValuePtr> Out;
+  Out.reserve(Xs.size());
+  for (long X : Xs)
+    Out.push_back(Value::makeInt(X));
+  return Value::makeList(std::move(Out));
+}
+
+ValuePtr dc::realList(const std::vector<double> &Xs) {
+  std::vector<ValuePtr> Out;
+  Out.reserve(Xs.size());
+  for (double X : Xs)
+    Out.push_back(Value::makeReal(X));
+  return Value::makeList(std::move(Out));
+}
+
+namespace {
+
+using ListFn = std::function<std::optional<std::vector<long>>(
+    const std::vector<long> &)>;
+using ScalarFn =
+    std::function<std::optional<long>(const std::vector<long> &)>;
+
+bool isPrimeL(long N) {
+  if (N < 2)
+    return false;
+  for (long D = 2; D * D <= N; ++D)
+    if (N % D == 0)
+      return false;
+  return true;
+}
+
+bool isSquareL(long N) {
+  if (N < 0)
+    return false;
+  for (long R = 0; R * R <= N; ++R)
+    if (R * R == N)
+      return true;
+  return false;
+}
+
+/// Generates the random input lists a task family is demonstrated on.
+std::vector<std::vector<long>> sampleInputs(std::mt19937 &Rng, bool NonEmpty,
+                                            int Count = 6) {
+  std::uniform_int_distribution<int> Len(NonEmpty ? 1 : 0, 7);
+  std::uniform_int_distribution<long> Elem(0, 9);
+  std::vector<std::vector<long>> Out;
+  for (int I = 0; I < Count; ++I) {
+    std::vector<long> Xs(Len(Rng));
+    for (long &X : Xs)
+      X = Elem(Rng);
+    Out.push_back(std::move(Xs));
+  }
+  if (!NonEmpty)
+    Out.front().clear(); // always demonstrate the empty list
+  return Out;
+}
+
+TaskPtr listToListTask(const std::string &Name, const ListFn &F,
+                       std::mt19937 &Rng, bool NonEmpty) {
+  std::vector<Example> Ex;
+  for (const auto &In : sampleInputs(Rng, NonEmpty)) {
+    auto Out = F(In);
+    if (!Out)
+      continue;
+    Ex.push_back({{intList(In)}, intList(*Out)});
+  }
+  if (Ex.size() < 4)
+    return nullptr;
+  return std::make_shared<Task>(Name,
+                                Type::arrow(tList(tInt()), tList(tInt())),
+                                std::move(Ex));
+}
+
+TaskPtr listToIntTask(const std::string &Name, const ScalarFn &F,
+                      std::mt19937 &Rng, bool NonEmpty) {
+  std::vector<Example> Ex;
+  for (const auto &In : sampleInputs(Rng, NonEmpty)) {
+    auto Out = F(In);
+    if (!Out)
+      continue;
+    Ex.push_back({{intList(In)}, Value::makeInt(*Out)});
+  }
+  if (Ex.size() < 4)
+    return nullptr;
+  return std::make_shared<Task>(Name, Type::arrow(tList(tInt()), tInt()),
+                                std::move(Ex));
+}
+
+} // namespace
+
+DomainSpec dc::makeListDomain(unsigned Seed, int TasksPerSplit) {
+  DomainSpec D;
+  D.Name = "list";
+  D.BasePrimitives = prims::functionalCore();
+  for (ExprPtr P : prims::arithmeticExtras())
+    D.BasePrimitives.push_back(P);
+  D.Featurizer = std::make_shared<IoFeaturizer>();
+  D.Search.InitialBudget = 9.0;
+  D.Search.BudgetStep = 1.5;
+  D.Search.MaxBudget = 15.0;
+  D.Search.NodeBudget = 400000;
+  // Richer beams give abstraction sleep more refactorings to mine.
+  D.Search.ExtraWindowsAfterSolution = 1;
+
+  std::mt19937 Rng(Seed);
+
+  struct Family {
+    std::string Name;
+    bool NonEmpty;
+    bool ToList;
+    ListFn LF;
+    ScalarFn SF;
+  };
+
+  auto MapEach = [](const std::function<long(long)> &G) {
+    return [G](const std::vector<long> &In)
+               -> std::optional<std::vector<long>> {
+      std::vector<long> Out;
+      for (long X : In)
+        Out.push_back(G(X));
+      return Out;
+    };
+  };
+  auto Keep = [](const std::function<bool(long)> &P) {
+    return [P](const std::vector<long> &In)
+               -> std::optional<std::vector<long>> {
+      std::vector<long> Out;
+      for (long X : In)
+        if (P(X))
+          Out.push_back(X);
+      return Out;
+    };
+  };
+
+  std::vector<Family> Families;
+  auto AddList = [&](const std::string &Name, ListFn F,
+                     bool NonEmpty = false) {
+    Families.push_back({Name, NonEmpty, true, std::move(F), nullptr});
+  };
+  auto AddScalar = [&](const std::string &Name, ScalarFn F,
+                       bool NonEmpty = false) {
+    Families.push_back({Name, NonEmpty, false, nullptr, std::move(F)});
+  };
+
+  // --- Mapping families -------------------------------------------------
+  AddList("add-1-to-each", MapEach([](long X) { return X + 1; }));
+  AddList("add-2-to-each", MapEach([](long X) { return X + 2; }));
+  AddList("add-3-to-each", MapEach([](long X) { return X + 3; }));
+  AddList("subtract-1-from-each", MapEach([](long X) { return X - 1; }));
+  AddList("double-each", MapEach([](long X) { return 2 * X; }));
+  AddList("triple-each", MapEach([](long X) { return 3 * X; }));
+  AddList("square-each", MapEach([](long X) { return X * X; }));
+  AddList("mod-2-each", MapEach([](long X) { return X % 2; }));
+  AddList("mod-3-each", MapEach([](long X) { return X % 3; }));
+  AddList("zero-each", MapEach([](long) { return 0; }));
+  AddList("negate-parity", MapEach([](long X) { return 1 - X % 2; }));
+  AddList("double-plus-one", MapEach([](long X) { return 2 * X + 1; }));
+
+  // --- Filtering families ------------------------------------------------
+  AddList("keep-evens", Keep([](long X) { return X % 2 == 0; }));
+  AddList("keep-odds", Keep([](long X) { return X % 2 == 1; }));
+  AddList("keep-primes", Keep([](long X) { return isPrimeL(X); }));
+  AddList("keep-squares", Keep([](long X) { return isSquareL(X); }));
+  AddList("keep-greater-than-3", Keep([](long X) { return X > 3; }));
+  AddList("drop-zeros", Keep([](long X) { return X != 0; }));
+
+  // --- Structural families -----------------------------------------------
+  AddList("identity",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> { return In; });
+  AddList("drop-first",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            return std::vector<long>(In.begin() + 1, In.end());
+          },
+          /*NonEmpty=*/true);
+  AddList("repeat-first",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            std::vector<long> Out(In.size(), In.empty() ? 0 : In[0]);
+            return Out;
+          },
+          /*NonEmpty=*/true);
+  AddList("prepend-zero",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            std::vector<long> Out = {0};
+            Out.insert(Out.end(), In.begin(), In.end());
+            return Out;
+          });
+  AddList("singleton-head",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            return std::vector<long>{In[0]};
+          },
+          /*NonEmpty=*/true);
+  AddList("reverse",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            std::vector<long> Out(In.rbegin(), In.rend());
+            return Out;
+          });
+  AddList("append-self",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            std::vector<long> Out = In;
+            Out.insert(Out.end(), In.begin(), In.end());
+            return Out;
+          });
+  AddList("sort",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            std::vector<long> Out = In;
+            std::sort(Out.begin(), Out.end());
+            return Out;
+          });
+  AddList("range-of-length",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            std::vector<long> Out(In.size());
+            std::iota(Out.begin(), Out.end(), 0);
+            return Out;
+          });
+
+  // --- Reduction families --------------------------------------------------
+  AddScalar("length", [](const std::vector<long> &In) -> std::optional<long> {
+    return static_cast<long>(In.size());
+  });
+  AddScalar("sum", [](const std::vector<long> &In) -> std::optional<long> {
+    return std::accumulate(In.begin(), In.end(), 0l);
+  });
+  AddScalar("head",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              return In[0];
+            },
+            /*NonEmpty=*/true);
+  AddScalar("last",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              return In.back();
+            },
+            /*NonEmpty=*/true);
+  AddScalar("second",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              if (In.size() < 2)
+                return std::nullopt;
+              return In[1];
+            },
+            /*NonEmpty=*/true);
+  AddScalar("maximum",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              return *std::max_element(In.begin(), In.end());
+            },
+            /*NonEmpty=*/true);
+  AddScalar("count-evens",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              long N = 0;
+              for (long X : In)
+                N += X % 2 == 0;
+              return N;
+            });
+  AddScalar("count-primes",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              long N = 0;
+              for (long X : In)
+                N += isPrimeL(X);
+              return N;
+            });
+  AddScalar("sum-plus-length",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              return std::accumulate(In.begin(), In.end(), 0l) +
+                     static_cast<long>(In.size());
+            });
+  AddScalar("double-length",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              return 2 * static_cast<long>(In.size());
+            });
+
+  // --- Cross-family idiom reuse -------------------------------------------
+  // The paper's corpora repeat concrete idioms (increment, double, head)
+  // across many tasks; abstraction sleep needs that statistical mass.
+  AddList("increment-head",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            std::vector<long> Out = In;
+            Out[0] += 1;
+            return Out;
+          },
+          /*NonEmpty=*/true);
+  AddScalar("length-plus-one",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              return static_cast<long>(In.size()) + 1;
+            });
+  AddScalar("head-plus-one",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              return In[0] + 1;
+            },
+            /*NonEmpty=*/true);
+  AddScalar("maximum-plus-one",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              return *std::max_element(In.begin(), In.end()) + 1;
+            },
+            /*NonEmpty=*/true);
+  AddList("double-head",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            std::vector<long> Out = In;
+            Out[0] *= 2;
+            return Out;
+          },
+          /*NonEmpty=*/true);
+  AddScalar("double-sum",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              long S = std::accumulate(In.begin(), In.end(), 0l);
+              return 2 * S;
+            });
+  AddScalar("double-head-scalar",
+            [](const std::vector<long> &In) -> std::optional<long> {
+              return 2 * In[0];
+            },
+            /*NonEmpty=*/true);
+  AddList("increment-tail",
+          [](const std::vector<long> &In)
+              -> std::optional<std::vector<long>> {
+            std::vector<long> Out(In.begin() + 1, In.end());
+            for (long &X : Out)
+              X += 1;
+            return Out;
+          },
+          /*NonEmpty=*/true);
+
+  // Deterministic alternating train/test split (paper: 50/50).
+  for (size_t I = 0; I < Families.size(); ++I) {
+    const Family &F = Families[I];
+    TaskPtr T = F.ToList ? listToListTask(F.Name, F.LF, Rng, F.NonEmpty)
+                         : listToIntTask(F.Name, F.SF, Rng, F.NonEmpty);
+    if (!T)
+      continue;
+    if (I % 2 == 0)
+      D.TrainTasks.push_back(T);
+    else
+      D.TestTasks.push_back(T);
+  }
+
+  if (TasksPerSplit > 0) {
+    if (static_cast<int>(D.TrainTasks.size()) > TasksPerSplit)
+      D.TrainTasks.resize(TasksPerSplit);
+    if (static_cast<int>(D.TestTasks.size()) > TasksPerSplit)
+      D.TestTasks.resize(TasksPerSplit);
+  }
+  return D;
+}

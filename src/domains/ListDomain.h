@@ -1,0 +1,30 @@
+//===- domains/ListDomain.h - List-processing domain (paper §5) -----------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Functional list-manipulation problems in the style of [14], specified by
+/// input/output examples and split 50/50 into train and test. The base
+/// language is the paper's: map, fold, cons, car, cdr, if, length, index,
+/// =, +, -, 0, 1, nil, is-nil plus the numeric extras mod, *, >, is-square,
+/// is-prime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_DOMAINS_LISTDOMAIN_H
+#define DC_DOMAINS_LISTDOMAIN_H
+
+#include "domains/Domain.h"
+
+namespace dc {
+
+/// Builds the list-processing domain with deterministic task corpora.
+/// \p Seed drives example generation; \p TasksPerSplit caps each of the
+/// train/test corpora (the full family set is used when 0).
+DomainSpec makeListDomain(unsigned Seed = 1, int TasksPerSplit = 0);
+
+} // namespace dc
+
+#endif // DC_DOMAINS_LISTDOMAIN_H

@@ -1,0 +1,219 @@
+//===- domains/OrigamiDomain.cpp - 1959-Lisp bootstrap --------------------===//
+
+#include "domains/OrigamiDomain.h"
+
+#include "core/Primitives.h"
+
+#include <algorithm>
+#include <numeric>
+
+using namespace dc;
+
+namespace {
+
+std::vector<std::vector<long>> origamiInputs(std::mt19937 &Rng) {
+  std::uniform_int_distribution<int> Len(0, 5);
+  std::uniform_int_distribution<long> Elem(0, 6);
+  std::vector<std::vector<long>> Out = {{}, {1}, {2, 3}};
+  for (int I = 0; I < 4; ++I) {
+    std::vector<long> Xs(Len(Rng));
+    for (long &X : Xs)
+      X = Elem(Rng);
+    Out.push_back(std::move(Xs));
+  }
+  return Out;
+}
+
+TaskPtr task(const std::string &Name, TypePtr Request,
+             std::vector<Example> Ex) {
+  auto T = std::make_shared<Task>(Name, std::move(Request), std::move(Ex));
+  // Recursion through fix is step-hungry; give these tasks extra budget.
+  T->setStepBudget(30000);
+  return T;
+}
+
+} // namespace
+
+DomainSpec dc::makeOrigamiDomain(unsigned Seed) {
+  DomainSpec D;
+  D.Name = "origami";
+  D.BasePrimitives = prims::mcCarthy1959();
+  D.Featurizer = std::make_shared<IoFeaturizer>();
+  D.Search.InitialBudget = 10.0;
+  D.Search.BudgetStep = 1.5;
+  D.Search.MaxBudget = 19.0;
+  D.Search.NodeBudget = 1500000;
+
+  std::mt19937 Rng(Seed);
+  TypePtr LL = Type::arrow(tList(tInt()), tList(tInt()));
+  TypePtr LI = Type::arrow(tList(tInt()), tInt());
+  TypePtr LB = Type::arrow(tList(tInt()), tBool());
+  TypePtr III = Type::arrows({tInt(), tInt()}, tInt());
+  TypePtr IL = Type::arrow(tInt(), tList(tInt()));
+  TypePtr LLL = Type::arrows({tList(tInt()), tList(tInt())}, tList(tInt()));
+
+  auto Inputs = origamiInputs(Rng);
+
+  auto ListTask = [&](const std::string &Name,
+                      const std::function<std::vector<long>(
+                          const std::vector<long> &)> &F) {
+    std::vector<Example> Ex;
+    for (const auto &In : Inputs)
+      Ex.push_back({{intList(In)}, intList(F(In))});
+    D.TrainTasks.push_back(task(Name, LL, std::move(Ex)));
+  };
+  auto IntTask = [&](const std::string &Name,
+                     const std::function<long(const std::vector<long> &)> &F) {
+    std::vector<Example> Ex;
+    for (const auto &In : Inputs)
+      Ex.push_back({{intList(In)}, Value::makeInt(F(In))});
+    D.TrainTasks.push_back(task(Name, LI, std::move(Ex)));
+  };
+
+  // The 20 introductory tasks (paper Appendix Fig 19 flavor).
+  IntTask("length", [](const std::vector<long> &In) {
+    return static_cast<long>(In.size());
+  });
+  IntTask("sum", [](const std::vector<long> &In) {
+    return std::accumulate(In.begin(), In.end(), 0l);
+  });
+  IntTask("count-positive", [](const std::vector<long> &In) {
+    long N = 0;
+    for (long X : In)
+      N += X > 0;
+    return N;
+  });
+  ListTask("increment-each", [](const std::vector<long> &In) {
+    std::vector<long> Out;
+    for (long X : In)
+      Out.push_back(X + 1);
+    return Out;
+  });
+  ListTask("decrement-each", [](const std::vector<long> &In) {
+    std::vector<long> Out;
+    for (long X : In)
+      Out.push_back(X - 1);
+    return Out;
+  });
+  ListTask("double-each", [](const std::vector<long> &In) {
+    std::vector<long> Out;
+    for (long X : In)
+      Out.push_back(X + X);
+    return Out;
+  });
+  ListTask("zero-out", [](const std::vector<long> &In) {
+    return std::vector<long>(In.size(), 0);
+  });
+  ListTask("keep-positive", [](const std::vector<long> &In) {
+    std::vector<long> Out;
+    for (long X : In)
+      if (X > 0)
+        Out.push_back(X);
+    return Out;
+  });
+  ListTask("drop-ones", [](const std::vector<long> &In) {
+    std::vector<long> Out;
+    for (long X : In)
+      if (X != 1)
+        Out.push_back(X);
+    return Out;
+  });
+  ListTask("append-one", [](const std::vector<long> &In) {
+    std::vector<long> Out = In;
+    Out.push_back(1);
+    return Out;
+  });
+  ListTask("reverse", [](const std::vector<long> &In) {
+    return std::vector<long>(In.rbegin(), In.rend());
+  });
+  ListTask("stutter-ones", [](const std::vector<long> &In) {
+    std::vector<long> Out;
+    for (long X : In) {
+      (void)X;
+      Out.push_back(1);
+    }
+    return Out;
+  });
+
+  {
+    // range: int -> list(int), counting down is the natural unfold.
+    std::vector<Example> Ex;
+    for (long N : {0l, 1l, 2l, 3l, 4l, 5l}) {
+      std::vector<long> Out(N);
+      std::iota(Out.begin(), Out.end(), 0);
+      Ex.push_back({{Value::makeInt(N)}, intList(Out)});
+    }
+    D.TrainTasks.push_back(task("range", IL, std::move(Ex)));
+  }
+  {
+    // countdown: n -> [n, n-1, ..., 1].
+    std::vector<Example> Ex;
+    for (long N : {0l, 1l, 2l, 3l, 4l, 5l}) {
+      std::vector<long> Out;
+      for (long I = N; I >= 1; --I)
+        Out.push_back(I);
+      Ex.push_back({{Value::makeInt(N)}, intList(Out)});
+    }
+    D.TrainTasks.push_back(task("countdown", IL, std::move(Ex)));
+  }
+  {
+    // repeat-ones: n -> [1 × n].
+    std::vector<Example> Ex;
+    for (long N : {0l, 1l, 2l, 3l, 4l, 5l})
+      Ex.push_back({{Value::makeInt(N)},
+                    intList(std::vector<long>(N, 1))});
+    D.TrainTasks.push_back(task("repeat-ones", IL, std::move(Ex)));
+  }
+  {
+    // add: int -> int -> int by recursion.
+    std::vector<Example> Ex;
+    std::uniform_int_distribution<long> E(0, 6);
+    for (int I = 0; I < 8; ++I) {
+      long A = E(Rng), B = E(Rng);
+      Ex.push_back({{Value::makeInt(A), Value::makeInt(B)},
+                    Value::makeInt(A + B)});
+    }
+    D.TrainTasks.push_back(task("add", III, std::move(Ex)));
+  }
+  {
+    // is-empty and has-single: list classification.
+    std::vector<Example> Ex1, Ex2;
+    for (const auto &In : Inputs) {
+      Ex1.push_back({{intList(In)}, Value::makeBool(In.empty())});
+      Ex2.push_back({{intList(In)}, Value::makeBool(In.size() == 1)});
+    }
+    D.TrainTasks.push_back(task("is-empty", LB, std::move(Ex1)));
+    D.TrainTasks.push_back(task("is-singleton", LB, std::move(Ex2)));
+  }
+  {
+    // append: the classic two-list recursion ("zipping"-class task).
+    std::vector<Example> Ex;
+    std::vector<std::pair<std::vector<long>, std::vector<long>>> Pairs = {
+        {{}, {}},      {{1}, {2}},      {{1, 2}, {3}},
+        {{0}, {4, 5}}, {{2, 2}, {2, 2}}, {{1, 2, 3}, {4, 5}},
+    };
+    for (const auto &[A, B] : Pairs) {
+      std::vector<long> Out = A;
+      Out.insert(Out.end(), B.begin(), B.end());
+      Ex.push_back({{intList(A), intList(B)}, intList(Out)});
+    }
+    D.TrainTasks.push_back(task("append", LLL, std::move(Ex)));
+  }
+  {
+    // pairwise-sum: elementwise addition of two equal-length lists.
+    std::vector<Example> Ex;
+    std::vector<std::pair<std::vector<long>, std::vector<long>>> Pairs = {
+        {{}, {}},        {{1}, {2}},        {{1, 2}, {3, 4}},
+        {{0, 0}, {5, 6}}, {{2, 2, 2}, {1, 0, 1}},
+    };
+    for (const auto &[A, B] : Pairs) {
+      std::vector<long> Out;
+      for (size_t I = 0; I < A.size(); ++I)
+        Out.push_back(A[I] + B[I]);
+      Ex.push_back({{intList(A), intList(B)}, intList(Out)});
+    }
+    D.TrainTasks.push_back(task("pairwise-sum", LLL, std::move(Ex)));
+  }
+
+  return D;
+}

@@ -1,0 +1,30 @@
+//===- domains/OrigamiDomain.h - 1959-Lisp bootstrap (paper §5.2) ---------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "origami programming" experiment: 20 introductory list-programming
+/// tasks given only the 1959 McCarthy Lisp primitives (if, =, >, +, -, 0,
+/// 1, cons, car, cdr, nil, is-nil) plus the fixpoint combinator. The paper
+/// shows DreamCoder rediscovering fold/unfold-style recursion schemes and
+/// building map, length, etc. on top of them; EC builds a bigger, less
+/// generic library and misses the zipping tasks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_DOMAINS_ORIGAMIDOMAIN_H
+#define DC_DOMAINS_ORIGAMIDOMAIN_H
+
+#include "domains/Domain.h"
+
+namespace dc {
+
+/// Builds the 20-task origami corpus (all tasks are training tasks: the
+/// paper's question is whether the basis can be learned at all).
+DomainSpec makeOrigamiDomain(unsigned Seed = 5);
+
+} // namespace dc
+
+#endif // DC_DOMAINS_ORIGAMIDOMAIN_H

@@ -1,0 +1,294 @@
+//===- domains/PhysicsDomain.cpp - Physics-law discovery ------------------===//
+
+#include "domains/PhysicsDomain.h"
+
+#include "core/Primitives.h"
+
+#include <cmath>
+
+using namespace dc;
+
+double NumericTask::logLikelihood(ExprPtr Program) const {
+  for (const Example &Ex : Examples) {
+    ValuePtr Out = runProgram(Program, Ex.Inputs, StepBudget);
+    if (!Out || !valuesClose(Out, Ex.Output))
+      return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+bool NumericTask::valuesClose(const ValuePtr &A, const ValuePtr &B) const {
+  if (!A || !B)
+    return false;
+  if (A->isList() && B->isList()) {
+    if (A->asList().size() != B->asList().size())
+      return false;
+    for (size_t I = 0; I < A->asList().size(); ++I)
+      if (!valuesClose(A->asList()[I], B->asList()[I]))
+        return false;
+    return true;
+  }
+  bool ANum = A->isInt() || A->isReal();
+  bool BNum = B->isInt() || B->isReal();
+  if (!ANum || !BNum)
+    return A->equals(*B);
+  double X = A->asReal(), Y = B->asReal();
+  double Scale = std::max({1.0, std::fabs(X), std::fabs(Y)});
+  return std::fabs(X - Y) <= Tolerance * Scale;
+}
+
+namespace {
+
+using Reals = std::vector<double>;
+
+/// Specification of one law: named inputs are either scalars or 3-vectors.
+struct Law {
+  std::string Name;
+  int Scalars;             ///< number of scalar inputs
+  int Vectors;             ///< number of vector inputs (length-3 lists)
+  bool VectorOutput;       ///< output is a vector (else scalar)
+  std::function<Reals(const Reals &S, const std::vector<Reals> &V)> Eval;
+};
+
+double dotp(const Reals &A, const Reals &B) {
+  double S = 0;
+  for (size_t I = 0; I < A.size(); ++I)
+    S += A[I] * B[I];
+  return S;
+}
+
+Reals scale(double K, const Reals &V) {
+  Reals Out;
+  for (double X : V)
+    Out.push_back(K * X);
+  return Out;
+}
+
+Reals addv(const Reals &A, const Reals &B) {
+  Reals Out;
+  for (size_t I = 0; I < A.size(); ++I)
+    Out.push_back(A[I] + B[I]);
+  return Out;
+}
+
+Reals subv(const Reals &A, const Reals &B) {
+  Reals Out;
+  for (size_t I = 0; I < A.size(); ++I)
+    Out.push_back(A[I] - B[I]);
+  return Out;
+}
+
+} // namespace
+
+DomainSpec dc::makePhysicsDomain(unsigned Seed) {
+  DomainSpec D;
+  D.Name = "physics";
+  // Minimal basis: sequence recursion + arithmetic (paper §5.2). Vector
+  // algebra must be invented on top of these.
+  prims::functionalCore();
+  prims::listExtras();
+  for (const char *Name : {"map", "fold", "zip", "cons", "car", "cdr",
+                           "nil", "is-nil"})
+    D.BasePrimitives.push_back(lookupPrimitive(Name));
+  for (ExprPtr P : prims::realArithmetic())
+    D.BasePrimitives.push_back(P);
+  D.Featurizer = std::make_shared<IoFeaturizer>();
+  D.Search.InitialBudget = 9.0;
+  D.Search.BudgetStep = 1.5;
+  D.Search.MaxBudget = 16.0;
+  D.Search.NodeBudget = 600000;
+
+  std::mt19937 Rng(Seed);
+  std::uniform_real_distribution<double> Unit(0.5, 3.0);
+
+  std::vector<Law> Laws;
+  auto S = [&](const std::string &Name, int NumScalars,
+               const std::function<double(const Reals &)> &F) {
+    Laws.push_back({Name, NumScalars, 0, false,
+                    [F](const Reals &Sc, const std::vector<Reals> &) {
+                      return Reals{F(Sc)};
+                    }});
+  };
+  auto SV = [&](const std::string &Name, int NumScalars, int NumVectors,
+                bool VecOut,
+                const std::function<Reals(const Reals &,
+                                          const std::vector<Reals> &)> &F) {
+    Laws.push_back({Name, NumScalars, NumVectors, VecOut, F});
+  };
+
+  // --- Mechanics (scalars) ------------------------------------------------
+  S("newton-second-law/F=ma", 2,
+    [](const Reals &X) { return X[0] * X[1]; });
+  S("acceleration/a=F-over-m", 2,
+    [](const Reals &X) { return X[0] / X[1]; });
+  S("momentum/p=mv", 2, [](const Reals &X) { return X[0] * X[1]; });
+  S("kinetic-energy/half-mv2", 2,
+    [](const Reals &X) { return 0.5 * X[0] * X[1] * X[1]; });
+  S("potential-energy/mgh", 3,
+    [](const Reals &X) { return X[0] * X[1] * X[2]; });
+  S("spring-energy/half-kx2", 2,
+    [](const Reals &X) { return 0.5 * X[0] * X[1] * X[1]; });
+  S("hooke/F=-kx", 2, [](const Reals &X) { return -(X[0] * X[1]); });
+  S("work/W=Fd", 2, [](const Reals &X) { return X[0] * X[1]; });
+  S("power/P=W-over-t", 2, [](const Reals &X) { return X[0] / X[1]; });
+  S("velocity/v=v0+at", 3,
+    [](const Reals &X) { return X[0] + X[1] * X[2]; });
+  S("position/x=x0+v0t+half-at2", 4, [](const Reals &X) {
+    return X[0] + X[1] * X[2] + 0.5 * X[3] * X[2] * X[2];
+  });
+  S("kinematics/v2=v02+2ax", 3, [](const Reals &X) {
+    return X[0] * X[0] + 2.0 * X[1] * X[2];
+  });
+  S("gravitation/F=m1m2-over-r2", 3,
+    [](const Reals &X) { return X[0] * X[1] / (X[2] * X[2]); });
+  S("gravity-potential/U=-m1m2-over-r", 3,
+    [](const Reals &X) { return -(X[0] * X[1] / X[2]); });
+  S("centripetal/a=v2-over-r", 2,
+    [](const Reals &X) { return X[0] * X[0] / X[1]; });
+  S("angular-momentum/L=Iw", 2,
+    [](const Reals &X) { return X[0] * X[1]; });
+  S("torque/tau=rF", 2, [](const Reals &X) { return X[0] * X[1]; });
+  S("rotational-energy/half-Iw2", 2,
+    [](const Reals &X) { return 0.5 * X[0] * X[1] * X[1]; });
+  S("angular-position/theta=wt+half-at2", 3, [](const Reals &X) {
+    return X[0] * X[1] + 0.5 * X[2] * X[1] * X[1];
+  });
+  S("density/rho=m-over-V", 2,
+    [](const Reals &X) { return X[0] / X[1]; });
+  S("pressure/P=F-over-A", 2,
+    [](const Reals &X) { return X[0] / X[1]; });
+  S("hydrostatic/P=rho-g-h", 3,
+    [](const Reals &X) { return X[0] * X[1] * X[2]; });
+  S("buoyancy/F=rho-V-g", 3,
+    [](const Reals &X) { return X[0] * X[1] * X[2]; });
+  S("frequency/f=1-over-T", 1, [](const Reals &X) { return 1.0 / X[0]; });
+  S("wave-speed/v=f-lambda", 2,
+    [](const Reals &X) { return X[0] * X[1]; });
+  S("pendulum-period/2pi-sqrt-l-over-g", 2, [](const Reals &X) {
+    return 2.0 * 3.14159265358979323846 * std::sqrt(X[0] / X[1]);
+  });
+  S("spring-period/2pi-sqrt-m-over-k", 2, [](const Reals &X) {
+    return 2.0 * 3.14159265358979323846 * std::sqrt(X[0] / X[1]);
+  });
+  S("impulse/J=Ft", 2, [](const Reals &X) { return X[0] * X[1]; });
+  S("friction/f=mu-N", 2, [](const Reals &X) { return X[0] * X[1]; });
+  S("efficiency/e=Wout-over-Win", 2,
+    [](const Reals &X) { return X[0] / X[1]; });
+
+  // --- Electromagnetism (scalars) ------------------------------------------
+  S("ohm/V=IR", 2, [](const Reals &X) { return X[0] * X[1]; });
+  S("electric-power/P=IV", 2, [](const Reals &X) { return X[0] * X[1]; });
+  S("joule-heating/P=I2R", 2,
+    [](const Reals &X) { return X[0] * X[0] * X[1]; });
+  S("resistors-series", 2, [](const Reals &X) { return X[0] + X[1]; });
+  S("resistors-parallel", 2,
+    [](const Reals &X) { return X[0] * X[1] / (X[0] + X[1]); });
+  S("coulomb/F=q1q2-over-r2", 3,
+    [](const Reals &X) { return X[0] * X[1] / (X[2] * X[2]); });
+  S("electric-field/E=F-over-q", 2,
+    [](const Reals &X) { return X[0] / X[1]; });
+  S("capacitance/Q=CV", 2, [](const Reals &X) { return X[0] * X[1]; });
+  S("capacitor-energy/half-CV2", 2,
+    [](const Reals &X) { return 0.5 * X[0] * X[1] * X[1]; });
+  S("charge/Q=It", 2, [](const Reals &X) { return X[0] * X[1]; });
+  S("magnetic-force/F=qvB", 3,
+    [](const Reals &X) { return X[0] * X[1] * X[2]; });
+  S("photon-energy/E=hf(planck)", 1,
+    [](const Reals &X) { return X[0]; }); // h = 1 in Planck units
+  S("mass-energy/E=mc2(planck)", 1,
+    [](const Reals &X) { return X[0]; }); // c = 1
+  S("ideal-gas/P=nT-over-V(planck)", 3,
+    [](const Reals &X) { return X[0] * X[1] / X[2]; });
+  S("heat/Q=mcT", 3,
+    [](const Reals &X) { return X[0] * X[1] * X[2]; });
+
+  // --- Mathematical identities (scalars) -----------------------------------
+  S("square-difference/(a+b)(a-b)", 2,
+    [](const Reals &X) { return X[0] * X[0] - X[1] * X[1]; });
+  S("square-of-sum", 2, [](const Reals &X) {
+    return (X[0] + X[1]) * (X[0] + X[1]);
+  });
+  S("harmonic-mean-of-two", 2,
+    [](const Reals &X) { return 2.0 * X[0] * X[1] / (X[0] + X[1]); });
+  S("arithmetic-mean-of-two", 2,
+    [](const Reals &X) { return 0.5 * (X[0] + X[1]); });
+  S("geometric-mean-of-two", 2,
+    [](const Reals &X) { return std::sqrt(X[0] * X[1]); });
+
+  // --- Vector algebra -------------------------------------------------------
+  SV("dot-product", 0, 2, false,
+     [](const Reals &, const std::vector<Reals> &V) {
+       return Reals{dotp(V[0], V[1])};
+     });
+  SV("vector-norm-squared", 0, 1, false,
+     [](const Reals &, const std::vector<Reals> &V) {
+       return Reals{dotp(V[0], V[0])};
+     });
+  SV("vector-norm", 0, 1, false,
+     [](const Reals &, const std::vector<Reals> &V) {
+       return Reals{std::sqrt(dotp(V[0], V[0]))};
+     });
+  SV("vector-sum", 0, 2, true,
+     [](const Reals &, const std::vector<Reals> &V) {
+       return addv(V[0], V[1]);
+     });
+  SV("vector-difference", 0, 2, true,
+     [](const Reals &, const std::vector<Reals> &V) {
+       return subv(V[0], V[1]);
+     });
+  SV("scale-vector", 1, 1, true,
+     [](const Reals &S, const std::vector<Reals> &V) {
+       return scale(S[0], V[0]);
+     });
+  SV("momentum-vector/p=mv", 1, 1, true,
+     [](const Reals &S, const std::vector<Reals> &V) {
+       return scale(S[0], V[0]);
+     });
+  SV("work-dot/W=F.d", 0, 2, false,
+     [](const Reals &, const std::vector<Reals> &V) {
+       return Reals{dotp(V[0], V[1])};
+     });
+  SV("kinetic-energy-vector/half-m-v.v", 1, 1, false,
+     [](const Reals &S, const std::vector<Reals> &V) {
+       return Reals{0.5 * S[0] * dotp(V[0], V[0])};
+     });
+  SV("relative-velocity", 0, 2, true,
+     [](const Reals &, const std::vector<Reals> &V) {
+       return subv(V[0], V[1]);
+     });
+
+  // Realize each law as a NumericTask with randomized numeric examples.
+  for (const Law &L : Laws) {
+    std::vector<Example> Ex;
+    for (int E = 0; E < 6; ++E) {
+      Reals Scalars;
+      for (int I = 0; I < L.Scalars; ++I)
+        Scalars.push_back(Unit(Rng));
+      std::vector<Reals> Vectors;
+      for (int I = 0; I < L.Vectors; ++I) {
+        Reals V;
+        for (int J = 0; J < 3; ++J)
+          V.push_back(Unit(Rng));
+        Vectors.push_back(std::move(V));
+      }
+      Reals Out = L.Eval(Scalars, Vectors);
+      std::vector<ValuePtr> Inputs;
+      for (double X : Scalars)
+        Inputs.push_back(Value::makeReal(X));
+      for (const Reals &V : Vectors)
+        Inputs.push_back(realList(V));
+      ValuePtr Output = L.VectorOutput ? realList(Out)
+                                       : Value::makeReal(Out.front());
+      Ex.push_back({std::move(Inputs), std::move(Output)});
+    }
+    std::vector<TypePtr> ArgTypes;
+    for (int I = 0; I < L.Scalars; ++I)
+      ArgTypes.push_back(tReal());
+    for (int I = 0; I < L.Vectors; ++I)
+      ArgTypes.push_back(tList(tReal()));
+    TypePtr Ret = L.VectorOutput ? tList(tReal()) : tReal();
+    D.TrainTasks.push_back(std::make_shared<NumericTask>(
+        L.Name, Type::arrows(ArgTypes, Ret), std::move(Ex)));
+  }
+  return D;
+}

@@ -1,0 +1,49 @@
+//===- domains/PhysicsDomain.h - Physics-law discovery (paper §5.2) -------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sixty physical laws and mathematical identities (AP/MCAT "cheat sheet"
+/// flavor) specified by numerical examples, with physical constants in
+/// Planck units (= 1) as in the paper. The base language is deliberately
+/// minimal — map/fold/zip over lists of reals plus arithmetic — so that
+/// vector algebra (inner products, norms, elementwise sums) must be
+/// *learned* before the laws become expressible (Fig 11A).
+///
+/// Outputs are compared with relative tolerance, since the paper's
+/// likelihood for this domain is a tight numerical match.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_DOMAINS_PHYSICSDOMAIN_H
+#define DC_DOMAINS_PHYSICSDOMAIN_H
+
+#include "domains/Domain.h"
+
+namespace dc {
+
+/// A task whose outputs are real scalars/vectors compared with relative
+/// tolerance (shared by the physics and regression domains).
+class NumericTask : public Task {
+public:
+  NumericTask(std::string Name, TypePtr Request, std::vector<Example> Ex,
+              double Tolerance = 1e-3)
+      : Task(std::move(Name), std::move(Request), std::move(Ex)),
+        Tolerance(Tolerance) {}
+
+  double logLikelihood(ExprPtr Program) const override;
+
+private:
+  bool valuesClose(const ValuePtr &A, const ValuePtr &B) const;
+  double Tolerance;
+};
+
+/// Builds the 60-law corpus (all tasks are training tasks; the paper
+/// reports the fraction of laws eventually solved).
+DomainSpec makePhysicsDomain(unsigned Seed = 11);
+
+} // namespace dc
+
+#endif // DC_DOMAINS_PHYSICSDOMAIN_H

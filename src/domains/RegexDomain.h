@@ -1,0 +1,60 @@
+//===- domains/RegexDomain.h - Generative regexes (paper §5) --------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Probabilistic program induction: each task is a handful of positive
+/// example strings (CSV-column flavor — phone numbers, currency, decimals,
+/// times), and programs are *generative regexes*: probabilistic programs
+/// over character classes whose likelihood of emitting each example is
+/// computed exactly by dynamic programming. P[x|ρ] is the product of the
+/// string emission probabilities, so beams trade off regex prior against
+/// fit — the paper's "$d.d0 explains $5.70" behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_DOMAINS_REGEXDOMAIN_H
+#define DC_DOMAINS_REGEXDOMAIN_H
+
+#include "domains/Domain.h"
+
+namespace dc {
+
+/// The opaque generative-regex value type.
+TypePtr tRegex();
+
+/// Log probability that the regex \p Program (a closed term of type regex)
+/// generates exactly \p S; -inf when it cannot.
+double regexLogLikelihood(ExprPtr Program, const std::string &S,
+                          long StepBudget = 50000);
+
+/// Samples a string from the generative regex; nullopt on failure or when
+/// the sample exceeds \p MaxLength.
+std::optional<std::string> sampleRegex(ExprPtr Program, std::mt19937 &Rng,
+                                       int MaxLength = 40);
+
+/// Task over positive strings: log likelihood is the summed emission log
+/// probability (graded, never exactly 0).
+class RegexTask : public Task {
+public:
+  RegexTask(std::string Name, std::vector<std::string> Strings);
+  double logLikelihood(ExprPtr Program) const override;
+  const std::vector<std::string> &strings() const { return Positive; }
+
+private:
+  std::vector<std::string> Positive;
+};
+
+/// Builds the regex domain: train/test splits of text-concept families
+/// plus held-out strings per test task for posterior-predictive scoring.
+DomainSpec makeRegexDomain(unsigned Seed = 6);
+
+/// Per-character posterior-predictive log likelihood of held-out \p S under
+/// the best program in \p F (the Fig 10 / Fig 7A metric for this domain).
+double heldOutPerCharacter(const Frontier &F, const std::string &S);
+
+} // namespace dc
+
+#endif // DC_DOMAINS_REGEXDOMAIN_H

@@ -1,0 +1,51 @@
+//===- domains/RegressionDomain.h - Symbolic regression (paper §5) --------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizing real-valued programs with continuous parameters: the
+/// system receives input/output samples of polynomials and rational
+/// functions and writes a program over {+., -., *., /., REAL}, where each
+/// REAL is a free constant fit by an inner loop of gradient descent during
+/// likelihood evaluation — exactly the paper's setup.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_DOMAINS_REGRESSIONDOMAIN_H
+#define DC_DOMAINS_REGRESSIONDOMAIN_H
+
+#include "domains/Domain.h"
+
+namespace dc {
+
+/// Counts REAL placeholders in \p Program (descending into inventions).
+int countRealPlaceholders(ExprPtr Program);
+
+/// Evaluates real-valued \p Program at \p X with the placeholder constants
+/// \p Consts; nullopt on failure.
+std::optional<double> evaluateWithConstants(ExprPtr Program, double X,
+                                            const std::vector<double> &Consts);
+
+/// Task whose likelihood fits REAL constants to the examples first.
+class RegressionTask : public Task {
+public:
+  RegressionTask(std::string Name, std::vector<std::pair<double, double>>
+                                       Points);
+  double logLikelihood(ExprPtr Program) const override;
+
+  /// The fit residual and constants of the last successful likelihood call
+  /// (diagnostics; single-threaded by design).
+  mutable std::vector<double> LastConstants;
+
+private:
+  std::vector<std::pair<double, double>> Points;
+};
+
+/// Builds the symbolic-regression domain (polynomials and rationals).
+DomainSpec makeRegressionDomain(unsigned Seed = 7);
+
+} // namespace dc
+
+#endif // DC_DOMAINS_REGRESSIONDOMAIN_H

@@ -1,0 +1,29 @@
+//===- domains/TextDomain.h - FlashFill-style text editing (paper §5) -----===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Text-editing problems in the style of FlashFill / the 2017 SyGuS string
+/// track: substring extraction around delimiters, affix edits, case
+/// mangling, abbreviation. Strings are lists of characters, so the base
+/// language is the functional core plus character constants and character
+/// predicates/operations (the paper's setup).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_DOMAINS_TEXTDOMAIN_H
+#define DC_DOMAINS_TEXTDOMAIN_H
+
+#include "domains/Domain.h"
+
+namespace dc {
+
+/// Builds the text-editing domain (train on FlashFill-style tasks, test on
+/// a held-out SyGuS-flavored suite).
+DomainSpec makeTextDomain(unsigned Seed = 2);
+
+} // namespace dc
+
+#endif // DC_DOMAINS_TEXTDOMAIN_H

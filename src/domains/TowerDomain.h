@@ -1,0 +1,68 @@
+//===- domains/TowerDomain.h - Block-tower planning (paper §5) ------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classic "copy demo" planning domain: each task is a target tower on
+/// a simulated stage, and the system writes a program controlling a
+/// simulated hand — move left/right, drop horizontal or vertical blocks —
+/// that builds it. The base language shares LOGO's control flow (for-loops
+/// and an embed that restores the hand position).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_DOMAINS_TOWERDOMAIN_H
+#define DC_DOMAINS_TOWERDOMAIN_H
+
+#include "domains/Domain.h"
+
+namespace dc {
+
+/// One placed block: position, footprint and height in stage cells.
+struct Block {
+  int X;          ///< left edge
+  int Width;      ///< 3 for horizontal, 1 for vertical
+  int Height;     ///< 1 for horizontal, 3 for vertical
+
+  bool operator==(const Block &O) const {
+    return X == O.X && Width == O.Width && Height == O.Height;
+  }
+  bool operator<(const Block &O) const {
+    return std::tie(X, Width, Height) < std::tie(O.X, O.Width, O.Height);
+  }
+};
+
+/// Hand position plus the blocks dropped so far (gravity stacks them).
+struct TowerPlan {
+  int Hand = 0;
+  std::vector<Block> Blocks; ///< in drop order
+};
+
+/// The opaque tower-plan type.
+TypePtr tTower();
+
+/// Empty stage with the hand at the origin.
+ValuePtr initialTower();
+
+/// Canonical rendering: the sorted (x, width, height, restingHeight)
+/// tuples after simulating gravity, flattened to ints.
+std::vector<int> renderTower(const ValuePtr &Plan);
+
+/// Task: reproduce a target tower exactly.
+class TowerTask : public Task {
+public:
+  TowerTask(std::string Name, std::vector<int> Target);
+  double logLikelihood(ExprPtr Program) const override;
+
+private:
+  std::vector<int> Target;
+};
+
+/// Builds the towers domain: arches, walls, staircases, bridges.
+DomainSpec makeTowerDomain(unsigned Seed = 4);
+
+} // namespace dc
+
+#endif // DC_DOMAINS_TOWERDOMAIN_H

@@ -1,0 +1,72 @@
+//===- nn/Layers.cpp - MLP layers with manual backprop --------------------===//
+
+#include "nn/Layers.h"
+
+#include <cmath>
+
+using namespace dc;
+using namespace dc::nn;
+
+std::vector<float> Linear::forward(const std::vector<float> &X) {
+  LastInput = X;
+  std::vector<float> Y = W.matvec(X);
+  for (size_t I = 0; I < Y.size(); ++I)
+    Y[I] += B[I];
+  return Y;
+}
+
+std::vector<float> Linear::backward(const std::vector<float> &DY) {
+  DW.addOuter(DY, LastInput);
+  for (size_t I = 0; I < DB.size(); ++I)
+    DB[I] += DY[I];
+  return W.matvecTransposed(DY);
+}
+
+void Linear::zeroGrad() {
+  DW.fill(0.0f);
+  std::fill(DB.begin(), DB.end(), 0.0f);
+}
+
+std::vector<float> Tanh::forward(const std::vector<float> &X) {
+  LastOutput.resize(X.size());
+  for (size_t I = 0; I < X.size(); ++I)
+    LastOutput[I] = std::tanh(X[I]);
+  return LastOutput;
+}
+
+std::vector<float> Tanh::backward(const std::vector<float> &DY) {
+  std::vector<float> DX(DY.size());
+  for (size_t I = 0; I < DY.size(); ++I)
+    DX[I] = DY[I] * (1.0f - LastOutput[I] * LastOutput[I]);
+  return DX;
+}
+
+std::vector<float> Mlp::forward(const std::vector<float> &X) {
+  return L3.forward(A2.forward(L2.forward(A1.forward(L1.forward(X)))));
+}
+
+void Mlp::backward(const std::vector<float> &DLogits) {
+  L1.backward(A1.backward(L2.backward(A2.backward(L3.backward(DLogits)))));
+}
+
+void Mlp::zeroGrad() {
+  L1.zeroGrad();
+  L2.zeroGrad();
+  L3.zeroGrad();
+}
+
+std::vector<Mlp::ParamSegment> Mlp::parameterSegments() {
+  std::vector<ParamSegment> Out;
+  for (Linear *L : {&L1, &L2, &L3}) {
+    Out.push_back({L->W.data(), L->DW.data(), L->W.size()});
+    Out.push_back({L->B.data(), L->DB.data(), L->B.size()});
+  }
+  return Out;
+}
+
+size_t Mlp::parameterCount() {
+  size_t N = 0;
+  for (Linear *L : {&L1, &L2, &L3})
+    N += L->W.size() + L->B.size();
+  return N;
+}

@@ -1,0 +1,92 @@
+//===- nn/Layers.h - MLP layers with manual backprop ----------------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A two-hidden-layer perceptron with tanh activations — the recognition
+/// model's trunk. Layers cache their forward activations, so the usual
+/// forward / backward / step cycle applies. Batch size is 1 (tasks are
+/// featurized individually); gradients accumulate until the optimizer
+/// steps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_NN_LAYERS_H
+#define DC_NN_LAYERS_H
+
+#include "nn/Tensor.h"
+
+namespace dc {
+namespace nn {
+
+/// Fully connected layer y = Wx + b with gradient accumulation.
+class Linear {
+public:
+  Linear() = default;
+  Linear(int InDim, int OutDim, std::mt19937 &Rng)
+      : W(Matrix::glorot(OutDim, InDim, Rng)), DW(OutDim, InDim),
+        B(OutDim, 0.0f), DB(OutDim, 0.0f) {}
+
+  int inDim() const { return W.cols(); }
+  int outDim() const { return W.rows(); }
+
+  std::vector<float> forward(const std::vector<float> &X);
+  /// Returns dL/dX and accumulates dL/dW, dL/dB.
+  std::vector<float> backward(const std::vector<float> &DY);
+
+  void zeroGrad();
+
+  Matrix W, DW;
+  std::vector<float> B, DB;
+
+private:
+  std::vector<float> LastInput;
+};
+
+/// Elementwise tanh.
+class Tanh {
+public:
+  std::vector<float> forward(const std::vector<float> &X);
+  std::vector<float> backward(const std::vector<float> &DY);
+
+private:
+  std::vector<float> LastOutput;
+};
+
+/// Input → Linear → tanh → Linear → tanh → Linear → logits.
+class Mlp {
+public:
+  Mlp() = default;
+  Mlp(int InDim, int Hidden, int OutDim, std::mt19937 &Rng)
+      : L1(InDim, Hidden, Rng), L2(Hidden, Hidden, Rng),
+        L3(Hidden, OutDim, Rng) {}
+
+  int outDim() const { return L3.outDim(); }
+
+  std::vector<float> forward(const std::vector<float> &X);
+  void backward(const std::vector<float> &DLogits);
+  void zeroGrad();
+
+  /// One contiguous parameter block and its gradient block.
+  struct ParamSegment {
+    float *Param;
+    float *Grad;
+    size_t Size;
+  };
+
+  /// Flat views over parameters and their gradients, for the optimizer.
+  std::vector<ParamSegment> parameterSegments();
+  size_t parameterCount();
+
+  Linear L1, L2, L3;
+
+private:
+  Tanh A1, A2;
+};
+
+} // namespace nn
+} // namespace dc
+
+#endif // DC_NN_LAYERS_H

@@ -1,0 +1,37 @@
+//===- nn/Optimizer.cpp - Adam optimizer -----------------------------------===//
+
+#include "nn/Optimizer.h"
+
+#include <cmath>
+
+using namespace dc;
+using namespace dc::nn;
+
+Adam::Adam(Mlp &Net, float LearningRate, float Beta1, float Beta2,
+           float Epsilon)
+    : Net(Net), Lr(LearningRate), B1(Beta1), B2(Beta2), Eps(Epsilon) {
+  for (const Mlp::ParamSegment &Seg : Net.parameterSegments()) {
+    M.emplace_back(Seg.Size, 0.0f);
+    V.emplace_back(Seg.Size, 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++T;
+  float Correction1 = 1.0f - std::pow(B1, static_cast<float>(T));
+  float Correction2 = 1.0f - std::pow(B2, static_cast<float>(T));
+  auto Segments = Net.parameterSegments();
+  for (size_t S = 0; S < Segments.size(); ++S) {
+    float *P = Segments[S].Param;
+    float *G = Segments[S].Grad;
+    for (size_t I = 0; I < Segments[S].Size; ++I) {
+      float Grad = G[I];
+      M[S][I] = B1 * M[S][I] + (1.0f - B1) * Grad;
+      V[S][I] = B2 * V[S][I] + (1.0f - B2) * Grad * Grad;
+      float MHat = M[S][I] / Correction1;
+      float VHat = V[S][I] / Correction2;
+      P[I] -= Lr * MHat / (std::sqrt(VHat) + Eps);
+    }
+  }
+  Net.zeroGrad();
+}

@@ -1,0 +1,43 @@
+//===- nn/Optimizer.h - Adam optimizer -------------------------------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adam (Kingma & Ba 2014), the optimizer the paper uses for recognition
+/// model training (Appendix I). Operates over the MLP's parameter segments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_NN_OPTIMIZER_H
+#define DC_NN_OPTIMIZER_H
+
+#include "nn/Layers.h"
+
+namespace dc {
+namespace nn {
+
+/// Adam with bias-corrected first/second moment estimates.
+class Adam {
+public:
+  explicit Adam(Mlp &Net, float LearningRate = 1e-2f, float Beta1 = 0.9f,
+                float Beta2 = 0.999f, float Epsilon = 1e-8f);
+
+  /// Applies one update from the accumulated gradients, then clears them.
+  void step();
+
+  float learningRate() const { return Lr; }
+  void setLearningRate(float L) { Lr = L; }
+
+private:
+  Mlp &Net;
+  float Lr, B1, B2, Eps;
+  long T = 0;
+  std::vector<std::vector<float>> M, V; ///< per-segment moment buffers
+};
+
+} // namespace nn
+} // namespace dc
+
+#endif // DC_NN_OPTIMIZER_H

@@ -1,0 +1,88 @@
+//===- nn/Tensor.cpp - Minimal dense linear algebra ------------------------===//
+
+#include "nn/Tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dc;
+using namespace dc::nn;
+
+Matrix Matrix::glorot(int Rows, int Cols, std::mt19937 &Rng) {
+  Matrix M(Rows, Cols);
+  float Scale = std::sqrt(6.0f / static_cast<float>(Rows + Cols));
+  std::uniform_real_distribution<float> Dist(-Scale, Scale);
+  for (float &V : M.Data)
+    V = Dist(Rng);
+  return M;
+}
+
+std::vector<float> Matrix::matvec(const std::vector<float> &X) const {
+  assert(static_cast<int>(X.size()) == C && "matvec dimension mismatch");
+  std::vector<float> Y(R, 0.0f);
+  for (int I = 0; I < R; ++I) {
+    const float *Row = Data.data() + I * C;
+    float Acc = 0;
+    for (int J = 0; J < C; ++J)
+      Acc += Row[J] * X[J];
+    Y[I] = Acc;
+  }
+  return Y;
+}
+
+std::vector<float> Matrix::matvecTransposed(const std::vector<float> &X)
+    const {
+  assert(static_cast<int>(X.size()) == R && "matvecT dimension mismatch");
+  std::vector<float> Y(C, 0.0f);
+  for (int I = 0; I < R; ++I) {
+    const float *Row = Data.data() + I * C;
+    float Xi = X[I];
+    for (int J = 0; J < C; ++J)
+      Y[J] += Row[J] * Xi;
+  }
+  return Y;
+}
+
+void Matrix::addOuter(const std::vector<float> &A, const std::vector<float> &B,
+                      float Scale) {
+  assert(static_cast<int>(A.size()) == R && static_cast<int>(B.size()) == C &&
+         "outer-product dimension mismatch");
+  for (int I = 0; I < R; ++I) {
+    float *Row = Data.data() + I * C;
+    float Ai = A[I] * Scale;
+    for (int J = 0; J < C; ++J)
+      Row[J] += Ai * B[J];
+  }
+}
+
+void dc::nn::axpy(std::vector<float> &Y, const std::vector<float> &X,
+                  float A) {
+  assert(Y.size() == X.size() && "axpy dimension mismatch");
+  for (size_t I = 0; I < Y.size(); ++I)
+    Y[I] += A * X[I];
+}
+
+float dc::nn::dot(const std::vector<float> &A, const std::vector<float> &B) {
+  assert(A.size() == B.size() && "dot dimension mismatch");
+  float S = 0;
+  for (size_t I = 0; I < A.size(); ++I)
+    S += A[I] * B[I];
+  return S;
+}
+
+std::vector<float> dc::nn::maskedLogSoftmax(const std::vector<float> &Logits,
+                                            const std::vector<int> &Active) {
+  std::vector<float> Out = Logits;
+  if (Active.empty())
+    return Out;
+  float M = -1e30f;
+  for (int I : Active)
+    M = std::max(M, Logits[I]);
+  float Z = 0;
+  for (int I : Active)
+    Z += std::exp(Logits[I] - M);
+  float LogZ = M + std::log(Z);
+  for (int I : Active)
+    Out[I] = Logits[I] - LogZ;
+  return Out;
+}

@@ -1,0 +1,82 @@
+//===- nn/Tensor.h - Minimal dense linear algebra -------------------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small dense-matrix substrate for the recognition model
+/// (paper §4): row-major float matrices with just the operations an MLP
+/// trained by backprop needs. The paper's implementation uses PyTorch; this
+/// from-scratch replacement keeps the reproduction dependency-free (see
+/// DESIGN.md, substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_NN_TENSOR_H
+#define DC_NN_TENSOR_H
+
+#include <cassert>
+#include <random>
+#include <vector>
+
+namespace dc {
+namespace nn {
+
+/// Row-major 2-D float matrix.
+class Matrix {
+public:
+  Matrix() = default;
+  Matrix(int Rows, int Cols) : R(Rows), C(Cols), Data(Rows * Cols, 0.0f) {}
+
+  static Matrix zeros(int Rows, int Cols) { return Matrix(Rows, Cols); }
+
+  /// Xavier/Glorot-style initialization.
+  static Matrix glorot(int Rows, int Cols, std::mt19937 &Rng);
+
+  int rows() const { return R; }
+  int cols() const { return C; }
+
+  float &at(int I, int J) {
+    assert(I >= 0 && I < R && J >= 0 && J < C && "matrix index out of range");
+    return Data[I * C + J];
+  }
+  float at(int I, int J) const {
+    assert(I >= 0 && I < R && J >= 0 && J < C && "matrix index out of range");
+    return Data[I * C + J];
+  }
+
+  float *data() { return Data.data(); }
+  const float *data() const { return Data.data(); }
+  size_t size() const { return Data.size(); }
+
+  void fill(float V) { std::fill(Data.begin(), Data.end(), V); }
+
+  /// y = this · x (matrix-vector product). x.size() must equal cols().
+  std::vector<float> matvec(const std::vector<float> &X) const;
+
+  /// y = thisᵀ · x. x.size() must equal rows().
+  std::vector<float> matvecTransposed(const std::vector<float> &X) const;
+
+  /// this += Scale · (A ⊗ B) — rank-one update used for weight gradients.
+  void addOuter(const std::vector<float> &A, const std::vector<float> &B,
+                float Scale = 1.0f);
+
+private:
+  int R = 0, C = 0;
+  std::vector<float> Data;
+};
+
+/// Elementwise helpers over plain vectors (activations live in Layers.h).
+void axpy(std::vector<float> &Y, const std::vector<float> &X, float A);
+float dot(const std::vector<float> &A, const std::vector<float> &B);
+
+/// Numerically stable log-softmax restricted to \p Active indices; entries
+/// outside \p Active are left untouched (treated as masked out).
+std::vector<float> maskedLogSoftmax(const std::vector<float> &Logits,
+                                    const std::vector<int> &Active);
+
+} // namespace nn
+} // namespace dc
+
+#endif // DC_NN_TENSOR_H

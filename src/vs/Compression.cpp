@@ -1,0 +1,384 @@
+//===- vs/Compression.cpp - Abstraction sleep: library learning -----------===//
+
+#include "vs/Compression.h"
+
+#include "core/LikelihoodSummary.h"
+#include "vs/VersionSpace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <set>
+#include <unordered_map>
+
+using namespace dc;
+
+namespace {
+
+constexpr double NegInf = -std::numeric_limits<double>::infinity();
+
+double logSumExp(const std::vector<double> &Xs) {
+  double M = NegInf;
+  for (double X : Xs)
+    M = std::max(M, X);
+  if (M == NegInf)
+    return NegInf;
+  double S = 0;
+  for (double X : Xs)
+    S += std::exp(X - M);
+  return M + std::log(S);
+}
+
+/// Collects the distinct free de Bruijn indices of \p E (relative to its
+/// root), ascending.
+void collectFreeIndices(ExprPtr E, int Depth, std::set<int> &Out) {
+  switch (E->kind()) {
+  case ExprKind::Index:
+    if (E->index() >= Depth)
+      Out.insert(E->index() - Depth);
+    break;
+  case ExprKind::Primitive:
+  case ExprKind::Invented:
+    break;
+  case ExprKind::Abstraction:
+    collectFreeIndices(E->body(), Depth + 1, Out);
+    break;
+  case ExprKind::Application:
+    collectFreeIndices(E->fn(), Depth, Out);
+    collectFreeIndices(E->arg(), Depth, Out);
+    break;
+  }
+}
+
+/// Rewrites \p Term so that free index Free[J] becomes the (K-J)-th
+/// innermost of K fresh enclosing lambdas, then wraps the lambdas — the
+/// "close the invention over its free variables" step. The rewritten
+/// occurrence applies the closed invention to $Free[0], $Free[1], ... in
+/// order, so Free[J] must map to λ-index (K-1-J) at depth 0.
+ExprPtr closeOverFree(ExprPtr Term, const std::vector<int> &Free) {
+  int K = static_cast<int>(Free.size());
+  std::function<ExprPtr(ExprPtr, int)> Go = [&](ExprPtr E,
+                                                int Depth) -> ExprPtr {
+    switch (E->kind()) {
+    case ExprKind::Index: {
+      if (E->index() < Depth)
+        return E;
+      int FreeIdx = E->index() - Depth;
+      for (int J = 0; J < K; ++J)
+        if (Free[J] == FreeIdx)
+          return Expr::index(Depth + (K - 1 - J));
+      assert(false && "free index missing from closure set");
+      return E;
+    }
+    case ExprKind::Primitive:
+    case ExprKind::Invented:
+      return E;
+    case ExprKind::Abstraction:
+      return Expr::abstraction(Go(E->body(), Depth + 1));
+    case ExprKind::Application:
+      return Expr::application(Go(E->fn(), Depth), Go(E->arg(), Depth));
+    }
+    return E;
+  };
+  ExprPtr Out = Go(Term, 0);
+  for (int J = 0; J < K; ++J)
+    Out = Expr::abstraction(Out);
+  return Out;
+}
+
+/// True when \p Body is worth turning into a library routine: closed,
+/// well-typed, and structurally non-trivial.
+bool isUsefulInventionBody(ExprPtr Body, const Grammar &G) {
+  if (!Body || !Body->isClosed())
+    return false;
+  if (Body->isIndex() || Body->isPrimitive() || Body->isInvented())
+    return false;
+  // The original system's `nontrivial` test: a routine must mention at
+  // least two primitives, or one primitive plus a variable used twice.
+  // This rejects bare rearrangement combinators like (λλλ ($2 $1 $0)),
+  // which compress syntax without capturing domain structure (and whose
+  // eta-expansions apply variables of unknown arity, outside the
+  // grammar's support).
+  int Primitives = 0;
+  int DuplicatedVariables = 0;
+  std::set<int> SeenIndices;
+  std::function<void(ExprPtr, int)> Scan = [&](ExprPtr E, int Depth) {
+    switch (E->kind()) {
+    case ExprKind::Index:
+      if (!SeenIndices.insert(E->index() - Depth).second)
+        ++DuplicatedVariables;
+      break;
+    case ExprKind::Primitive:
+    case ExprKind::Invented:
+      ++Primitives;
+      break;
+    case ExprKind::Abstraction:
+      Scan(E->body(), Depth + 1);
+      break;
+    case ExprKind::Application:
+      Scan(E->fn(), Depth);
+      Scan(E->arg(), Depth);
+      break;
+    }
+  };
+  Scan(Body, 0);
+  if (Primitives < 2 && !(Primitives == 1 && DuplicatedVariables > 0))
+    return false;
+  if (Body->size() < 3)
+    return false;
+  if (!Body->inferType())
+    return false;
+  // Already in the library?
+  for (const Production &P : G.productions())
+    if (P.Program->isInvented() && P.Program->body() == Body)
+      return false;
+  return true;
+}
+
+/// One proposed library routine.
+struct Candidate {
+  VsId Space = -1;          ///< anchor node rewrites fire at
+  ExprPtr Invention = nullptr; ///< closed #(...) routine added to D
+  /// What an occurrence of Space becomes: the invention applied to the
+  /// open term's free variables, e.g. (#(λ (+ $0 $0)) $1).
+  ExprPtr RewriteExpr = nullptr;
+  int TasksCovered = 0;
+};
+
+} // namespace
+
+double dc::libraryScore(Grammar &G, const std::vector<Frontier> &Frontiers,
+                        const CompressionParams &Params) {
+  // Build a likelihood summary per beam entry (structure is θ-independent).
+  std::vector<std::vector<LikelihoodSummary>> Summaries;
+  Summaries.reserve(Frontiers.size());
+  for (const Frontier &F : Frontiers) {
+    std::vector<LikelihoodSummary> Row;
+    for (const FrontierEntry &E : F.entries())
+      Row.push_back(
+          LikelihoodSummary::build(G, F.task()->request(), E.Program));
+    Summaries.push_back(std::move(Row));
+  }
+
+  // One EM step: posterior-weighted expected counts, then refit θ.
+  ExpectedCounts Counts;
+  for (size_t X = 0; X < Frontiers.size(); ++X) {
+    const auto &Entries = Frontiers[X].entries();
+    std::vector<double> Joint(Entries.size(), NegInf);
+    for (size_t I = 0; I < Entries.size(); ++I)
+      if (Summaries[X][I].valid())
+        Joint[I] =
+            Entries[I].LogLikelihood + Summaries[X][I].logLikelihood(G);
+    double Z = logSumExp(Joint);
+    if (Z == NegInf)
+      continue;
+    for (size_t I = 0; I < Entries.size(); ++I)
+      if (Joint[I] > NegInf)
+        Counts.add(Summaries[X][I], std::exp(Joint[I] - Z));
+  }
+  refitGrammar(G, Counts, Params.PseudoCounts);
+
+  // Eq. 4 under the refit weights.
+  double Score = -Params.StructurePenalty * G.structureSize() -
+                 Params.AicWeight *
+                     (static_cast<double>(G.productions().size()) + 1);
+  for (size_t X = 0; X < Frontiers.size(); ++X) {
+    const auto &Entries = Frontiers[X].entries();
+    if (Entries.empty())
+      continue;
+    std::vector<double> Joint;
+    Joint.reserve(Entries.size());
+    for (size_t I = 0; I < Entries.size(); ++I)
+      Joint.push_back(Summaries[X][I].valid()
+                          ? Entries[I].LogLikelihood +
+                                Summaries[X][I].logLikelihood(G)
+                          : NegInf);
+    double L = logSumExp(Joint);
+    // A solved task whose rewritten beam fell outside the grammar's
+    // support must count against the library, not silently vanish from
+    // the objective (which would reward degenerate inventions).
+    Score += L > NegInf ? L : -1e4;
+  }
+  return Score;
+}
+
+CompressionResult
+dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
+                    const CompressionParams &Params) {
+  CompressionResult Result;
+  Result.NewGrammar = G;
+  Result.RewrittenFrontiers = Frontiers;
+  Result.InitialScore = libraryScore(Result.NewGrammar,
+                                     Result.RewrittenFrontiers, Params);
+  Result.FinalScore = Result.InitialScore;
+
+  for (int Round = 0; Round < Params.MaxNewInventions; ++Round) {
+    // Build the refactoring closure of every beam program. Large corpora
+    // can overflow the node cap at n=3; degrade the inversion depth
+    // rather than giving up (shallower refactorings still beat none).
+    VersionTable VT;
+    std::vector<std::vector<VsId>> Closures;
+    int Steps = Params.RefactorSteps;
+    for (;; --Steps) {
+      VT = VersionTable();
+      Closures.assign(Result.RewrittenFrontiers.size(), {});
+      bool Overflow = false;
+      for (size_t X = 0;
+           X < Result.RewrittenFrontiers.size() && !Overflow; ++X)
+        for (const FrontierEntry &E :
+             Result.RewrittenFrontiers[X].entries()) {
+          Closures[X].push_back(VT.betaClosure(E.Program, Steps));
+          if (VT.size() > Params.MaxVersionNodes) {
+            Overflow = true;
+            break;
+          }
+        }
+      if (!Overflow)
+        break;
+      if (Steps <= 1) {
+        Steps = 0;
+        break;
+      }
+      if (Params.Verbose)
+        std::fprintf(stderr,
+                     "compression: version table overflow at n=%d; "
+                     "retrying with n=%d\n",
+                     Steps, Steps - 1);
+    }
+    if (Steps <= 0 && Params.RefactorSteps > 0)
+      break; // even n=1 overflows: corpus too large for refactoring
+
+    // Count, for each version-space node, how many tasks' refactorings
+    // contain it.
+    std::vector<int> TasksCovering(VT.size(), 0);
+    for (size_t X = 0; X < Closures.size(); ++X) {
+      std::vector<char> InThisTask(VT.size(), 0);
+      for (VsId Root : Closures[X])
+        for (VsId V : VT.reachable(Root))
+          InThisTask[V] = 1;
+      for (size_t V = 0; V < InThisTask.size(); ++V)
+        TasksCovering[V] += InThisTask[V];
+    }
+
+    // Rank candidate spaces by coverage, then validate the top ones.
+    std::vector<std::pair<int, VsId>> Ranked;
+    for (size_t V = 0; V < TasksCovering.size(); ++V)
+      if (TasksCovering[V] >= Params.MinimumTasksCovered)
+        Ranked.push_back({TasksCovering[V], static_cast<VsId>(V)});
+    std::sort(Ranked.begin(), Ranked.end(),
+              [](const auto &A, const auto &B) { return A.first > B.first; });
+
+    // One candidate-independent extraction cache shared by the proposal
+    // scan and by out-of-cone nodes during per-candidate rewriting.
+    std::unordered_map<VsId, Extraction> SharedCache;
+    std::vector<Candidate> Candidates;
+    std::set<ExprPtr> SeenBodies;
+    for (const auto &[Count, V] : Ranked) {
+      (void)Count;
+      if (static_cast<int>(Candidates.size()) >= Params.MaxCandidates)
+        break;
+      ExprPtr Term = VT.extractCheapest(V, SharedCache);
+      if (!Term)
+        continue;
+      // Normalize the invention (the OCaml system's normalize_invention):
+      // extracted members are refactorings and often carry β-redexes.
+      Term = Term->betaNormalForm(128);
+      // The term may be open — λ-abstract its free variables into the
+      // invention and apply the invention back to them at rewrite sites.
+      std::set<int> FreeSet;
+      collectFreeIndices(Term, 0, FreeSet);
+      if (FreeSet.size() > 2)
+        continue; // cap invention arity growth from free variables
+      std::vector<int> Free(FreeSet.begin(), FreeSet.end());
+      ExprPtr Body = Free.empty() ? Term : closeOverFree(Term, Free);
+      if (!isUsefulInventionBody(Body, Result.NewGrammar))
+        continue;
+      if (!SeenBodies.insert(Body).second)
+        continue; // distinct spaces can extract identical bodies
+      // Rewrites fire where the candidate node itself appears; anchor the
+      // candidate at the hash-consed singleton of the normalized (open)
+      // term, which every closure position exposing the idiom shares.
+      VsId Anchor = VT.incorporate(Term);
+      if (Anchor >= static_cast<VsId>(TasksCovering.size()) ||
+          TasksCovering[Anchor] < Params.MinimumTasksCovered)
+        continue; // the normal form itself is not exposed often enough
+      ExprPtr Invention = Expr::invented(Body);
+      ExprPtr Rewrite = Invention;
+      for (int I : Free)
+        Rewrite = Expr::application(Rewrite, Expr::index(I));
+      Candidates.push_back({Anchor, Invention, Rewrite,
+                            TasksCovering[Anchor]});
+    }
+    if (Params.Verbose)
+      std::fprintf(stderr,
+                   "compression round %d: %zu ranked, %zu candidates, "
+                   "baseline %.2f\n",
+                   Round, Ranked.size(), Candidates.size(),
+                   Result.FinalScore);
+    if (Candidates.empty())
+      break;
+
+    // Score each candidate by rewriting all beams under D ∪ {invention}.
+    double BestScore = Result.FinalScore;
+    int BestIdx = -1;
+    std::vector<Frontier> BestFrontiers;
+    Grammar BestGrammar;
+    for (size_t CI = 0; CI < Candidates.size(); ++CI) {
+      const Candidate &C = Candidates[CI];
+      Grammar Extended = Result.NewGrammar;
+      Extended.addProduction(C.Invention);
+
+      std::vector<Frontier> Rewritten = Result.RewrittenFrontiers;
+      std::vector<char> Cone = VT.coneAbove(C.Space);
+      std::unordered_map<VsId, Extraction> Overlay;
+      for (size_t X = 0; X < Rewritten.size(); ++X) {
+        auto &Entries = Rewritten[X].entries();
+        for (size_t I = 0; I < Entries.size(); ++I) {
+          Extraction E = VT.extractWithCandidate(
+              Closures[X][I], C.Space, C.RewriteExpr, Cone, SharedCache,
+              Overlay);
+          if (!E.Program)
+            continue;
+          // The extracted member may be a refactoring with explicit
+          // β-redexes, e.g. ((λ (map $0 xs)) #invention); normalize so the
+          // grammar can score it. Inventions are atomic and survive.
+          ExprPtr Normal = E.Program->betaNormalForm(512);
+          if (Params.Verbose && Normal != Entries[I].Program && CI < 3)
+            std::fprintf(stderr, "    rewrite[%zu] %s => %s\n", CI,
+                         Entries[I].Program->show().c_str(),
+                         Normal->show().c_str());
+          if (Normal && Normal->inferType())
+            Entries[I].Program = Normal;
+        }
+      }
+      double Score = libraryScore(Extended, Rewritten, Params);
+      if (Params.Verbose && CI < 12)
+        std::fprintf(stderr, "  cand[%zu] %-40s cover=%d score=%.2f%s\n", CI,
+                     C.Invention->show().c_str(), C.TasksCovered, Score,
+                     Score > Result.FinalScore ? " (+)" : "");
+      if (Score > BestScore) {
+        BestScore = Score;
+        BestIdx = static_cast<int>(CI);
+        BestFrontiers = std::move(Rewritten);
+        BestGrammar = std::move(Extended);
+      }
+    }
+
+    if (BestIdx < 0)
+      break; // no candidate improves the objective
+    if (Params.Verbose)
+      std::fprintf(stderr, "compression: +%s (score %.2f -> %.2f)\n",
+                   Candidates[BestIdx].Invention->show().c_str(),
+                   Result.FinalScore, BestScore);
+    Result.NewGrammar = std::move(BestGrammar);
+    Result.RewrittenFrontiers = std::move(BestFrontiers);
+    Result.NewInventions.push_back(Candidates[BestIdx].Invention);
+    Result.FinalScore = BestScore;
+  }
+
+  // Re-anchor frontier priors to the final grammar.
+  for (Frontier &F : Result.RewrittenFrontiers)
+    F.rescore(Result.NewGrammar);
+  return Result;
+}

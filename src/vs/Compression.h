@@ -1,0 +1,76 @@
+//===- vs/Compression.h - Abstraction sleep: library learning -------------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstraction-sleep phase (paper §3): grow the library D with new
+/// routines that compress the programs discovered during waking, optimizing
+/// the Eq. 4 objective
+///
+///   log P[D] + Σ_x log Σ_{ρ∈B_x} P[x|ρ] · max_{ρ' →β* ρ} P[ρ'|D,θ]
+///            + log P[θ|D] − |θ|₀
+///
+/// Candidate routines are proposed from the version spaces of all ≤n-step
+/// refactorings of the beam programs (vs/VersionSpace.h); each candidate is
+/// scored by rewriting every beam program to its minimal form under the
+/// extended library, refitting θ, and evaluating the objective. The best
+/// candidate is adopted greedily until no candidate improves the score.
+///
+/// Setting refactoring steps to 0 recovers the EC baseline (subtree
+/// proposals only); see WakeSleep's baseline modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_VS_COMPRESSION_H
+#define DC_VS_COMPRESSION_H
+
+#include "core/Grammar.h"
+#include "core/Task.h"
+
+#include <vector>
+
+namespace dc {
+
+/// Knobs for one abstraction-sleep phase.
+struct CompressionParams {
+  int RefactorSteps = 3;      ///< n in Iβn (paper uses 3); 0 = EC baseline
+  double StructurePenalty = 0.5; ///< λ in log P[D] ∝ -λ Σ size(routine)
+  double AicWeight = 0.5;     ///< weight of the |θ|₀ model-size penalty
+  double PseudoCounts = 0.3;  ///< Dirichlet smoothing when refitting θ
+  int MaxCandidates = 150;    ///< candidates scored per greedy round
+  int MaxNewInventions = 12;  ///< cap on routines added per sleep phase
+  /// Candidates must occur in the refactorings of at least this many beams.
+  int MinimumTasksCovered = 2;
+  /// Safety valve: skip version spaces larger than this many nodes.
+  size_t MaxVersionNodes = 4000000;
+  bool Verbose = false;
+};
+
+/// Result of one abstraction-sleep phase.
+struct CompressionResult {
+  Grammar NewGrammar;
+  std::vector<Frontier> RewrittenFrontiers; ///< beams re-expressed under D'
+  std::vector<ExprPtr> NewInventions;
+  double InitialScore = 0;
+  double FinalScore = 0;
+};
+
+/// Runs abstraction sleep: returns the grammar extended with the routines
+/// that most increase the Eq. 4 objective, with all frontier programs
+/// rewritten in terms of the new library. Frontiers with no entries pass
+/// through unchanged.
+CompressionResult compressLibrary(const Grammar &G,
+                                  const std::vector<Frontier> &Frontiers,
+                                  const CompressionParams &Params = {});
+
+/// The Eq. 4 objective for a fixed structure: refits θ on the frontiers
+/// (one EM step with Dirichlet smoothing) and returns the joint score.
+/// Exposed for tests and for the memorize/EC baselines.
+double libraryScore(Grammar &G, const std::vector<Frontier> &Frontiers,
+                    const CompressionParams &Params = {});
+
+} // namespace dc
+
+#endif // DC_VS_COMPRESSION_H

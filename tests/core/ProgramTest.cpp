@@ -1,0 +1,186 @@
+//===- tests/core/ProgramTest.cpp - Program representation unit tests -----===//
+
+#include "core/Primitives.h"
+#include "core/Program.h"
+#include "core/ProgramParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dc;
+
+namespace {
+
+/// Registers the shared primitives once for every test in this file.
+class ProgramTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    prims::functionalCore();
+    prims::arithmeticExtras();
+  }
+};
+
+} // namespace
+
+TEST_F(ProgramTest, HashConsingGivesPointerEquality) {
+  ExprPtr A = Expr::application(lookupPrimitive("+"), Expr::index(0));
+  ExprPtr B = Expr::application(lookupPrimitive("+"), Expr::index(0));
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(Expr::index(3), Expr::index(3));
+  EXPECT_NE(Expr::index(3), Expr::index(4));
+}
+
+TEST_F(ProgramTest, ShowRendersSpine) {
+  ExprPtr P = Expr::abstraction(Expr::applications(
+      lookupPrimitive("+"), {Expr::index(0), lookupPrimitive("1")}));
+  EXPECT_EQ(P->show(), "(lambda (+ $0 1))");
+}
+
+TEST_F(ProgramTest, ParseRoundTrip) {
+  const char *Sources[] = {
+      "(lambda (+ $0 1))",
+      "(lambda (map (lambda (+ $0 $0)) $0))",
+      "(lambda (fold (lambda (lambda (+ $0 $1))) 0 $0))",
+      "$0",
+      "(lambda (if (is-nil $0) 0 (car $0)))",
+  };
+  for (const char *Src : Sources) {
+    std::string Err;
+    ExprPtr P = parseProgram(Src, &Err);
+    ASSERT_NE(P, nullptr) << Src << ": " << Err;
+    EXPECT_EQ(P->show(), Src);
+    // Parsing the rendering must intern to the same node.
+    EXPECT_EQ(parseProgram(P->show()), P);
+  }
+}
+
+TEST_F(ProgramTest, ParseErrors) {
+  std::string Err;
+  EXPECT_EQ(parseProgram("(lambda", &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(parseProgram("(unknown-prim 1)", &Err), nullptr);
+  EXPECT_EQ(parseProgram("($)", &Err), nullptr);
+  EXPECT_EQ(parseProgram("", &Err), nullptr);
+  EXPECT_EQ(parseProgram("(lambda $0) extra", &Err), nullptr);
+}
+
+TEST_F(ProgramTest, SizeAndDepth) {
+  ExprPtr P = parseProgram("(lambda (+ $0 1))");
+  ASSERT_NE(P, nullptr);
+  // lambda, app, app, +, $0, 1 — with the spine counted as binary apps.
+  EXPECT_EQ(P->size(), 6);
+  EXPECT_EQ(P->depth(), 4);
+}
+
+TEST_F(ProgramTest, FreeVariables) {
+  EXPECT_TRUE(parseProgram("(lambda $0)")->isClosed());
+  EXPECT_FALSE(Expr::index(0)->isClosed());
+  ExprPtr Nested = parseProgram("(lambda (lambda $1))");
+  EXPECT_TRUE(Nested->isClosed());
+  ExprPtr Escaping = Expr::abstraction(Expr::index(1));
+  EXPECT_FALSE(Escaping->isClosed());
+}
+
+TEST_F(ProgramTest, ShiftRespectsCutoff) {
+  // (lambda ($0 $1)): $0 is bound, $1 free.
+  ExprPtr P = Expr::abstraction(
+      Expr::application(Expr::index(0), Expr::index(1)));
+  ExprPtr Shifted = P->shift(2);
+  ASSERT_NE(Shifted, nullptr);
+  EXPECT_EQ(Shifted->show(), "(lambda ($0 $3))");
+  // Shifting below zero fails.
+  EXPECT_EQ(Expr::index(0)->shift(-1), nullptr);
+}
+
+TEST_F(ProgramTest, BetaReduction) {
+  // ((lambda (+ $0 1)) 1) reduces to (+ 1 1).
+  ExprPtr Redex =
+      Expr::application(parseProgram("(lambda (+ $0 1))"),
+                        lookupPrimitive("1"));
+  EXPECT_EQ(Redex->betaNormalForm()->show(), "(+ 1 1)");
+}
+
+TEST_F(ProgramTest, BetaReductionUnderBinders) {
+  // (lambda ((lambda $0) $0)) reduces to (lambda $0).
+  ExprPtr P = parseProgram("(lambda ((lambda $0) $0))");
+  ASSERT_NE(P, nullptr);
+  EXPECT_EQ(P->betaNormalForm()->show(), "(lambda $0)");
+}
+
+TEST_F(ProgramTest, TypeInferenceSimple) {
+  TypePtr T = parseProgram("(lambda (+ $0 1))")->inferType();
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->show(), "int -> int");
+}
+
+TEST_F(ProgramTest, TypeInferencePolymorphic) {
+  TypePtr T = parseProgram("(lambda (map (lambda $0) $0))")->inferType();
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->show(), "list(t0) -> list(t0)");
+}
+
+TEST_F(ProgramTest, TypeInferenceHigherOrder) {
+  TypePtr T = parseProgram("(lambda (lambda (map $1 $0)))")->inferType();
+  ASSERT_NE(T, nullptr);
+  EXPECT_EQ(T->show(), "(t0 -> t1) -> list(t0) -> list(t1)");
+}
+
+TEST_F(ProgramTest, IllTypedProgramsRejected) {
+  EXPECT_EQ(parseProgram("(+ 1 nil)")->inferType(), nullptr);
+  EXPECT_EQ(parseProgram("(car 1)")->inferType(), nullptr);
+  // Self-application is untypeable in HM.
+  EXPECT_EQ(parseProgram("(lambda ($0 $0))")->inferType(), nullptr);
+}
+
+TEST_F(ProgramTest, InventionsParseAndType) {
+  std::string Err;
+  ExprPtr Inv = parseProgram("#(lambda (+ $0 1))", &Err);
+  ASSERT_NE(Inv, nullptr) << Err;
+  EXPECT_TRUE(Inv->isInvented());
+  EXPECT_EQ(Inv->declaredType()->show(), "int -> int");
+  EXPECT_EQ(Inv->size(), 1) << "inventions count as a single token";
+
+  ExprPtr Use = parseProgram("(lambda (#(lambda (+ $0 1)) $0))", &Err);
+  ASSERT_NE(Use, nullptr) << Err;
+  EXPECT_EQ(Use->inferType()->show(), "int -> int");
+}
+
+TEST_F(ProgramTest, InventionBodyMustBeClosed) {
+  std::string Err;
+  EXPECT_EQ(parseProgram("#((+ $0 1))", &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST_F(ProgramTest, StripInventions) {
+  ExprPtr Use = parseProgram("(lambda (#(lambda (+ $0 1)) $0))");
+  ASSERT_NE(Use, nullptr);
+  EXPECT_EQ(Use->stripInventions()->show(),
+            "(lambda ((lambda (+ $0 1)) $0))");
+}
+
+TEST_F(ProgramTest, InventionDepth) {
+  ExprPtr Base = parseProgram("(lambda (+ $0 1))");
+  EXPECT_EQ(Base->inventionDepth(), 0);
+  ExprPtr Inv1 = Expr::invented(Base);
+  EXPECT_EQ(Inv1->inventionDepth(), 1);
+  // An invention whose body calls Inv1 has depth 2.
+  ExprPtr Body2 = Expr::abstraction(
+      Expr::application(Inv1, Expr::application(Inv1, Expr::index(0))));
+  ExprPtr Inv2 = Expr::invented(Body2);
+  EXPECT_EQ(Inv2->inventionDepth(), 2);
+}
+
+TEST_F(ProgramTest, ApplicationSpine) {
+  ExprPtr P = parseProgram("(+ 1 0)");
+  auto [Head, Args] = applicationSpine(P);
+  EXPECT_EQ(Head, lookupPrimitive("+"));
+  ASSERT_EQ(Args.size(), 2u);
+  EXPECT_EQ(Args[0], lookupPrimitive("1"));
+  EXPECT_EQ(Args[1], lookupPrimitive("0"));
+}
+
+TEST_F(ProgramTest, SubexpressionsDeduplicated) {
+  ExprPtr P = parseProgram("(+ 1 1)");
+  auto Subs = P->subexpressions();
+  // (+ 1 1), (+ 1), +, 1 — the second "1" is shared.
+  EXPECT_EQ(Subs.size(), 4u);
+}

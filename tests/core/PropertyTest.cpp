@@ -1,0 +1,209 @@
+//===- tests/core/PropertyTest.cpp - Parameterized property sweeps --------===//
+//
+// Randomized/parameterized invariants tying the subsystems together:
+//
+//  * sampling/likelihood duality: every grammar sample scores finitely,
+//    and eta-equivalent programs score identically;
+//  * enumeration/likelihood duality: reported priors equal recomputed
+//    likelihoods, across grammars with skewed weights;
+//  * version-space consistency (paper Theorem G.5) across a program sweep:
+//    every sampled refactoring β-reduces back to the original;
+//  * refactor-closure completeness spot checks (Theorem G.6 flavor):
+//    hand-built redexes that β-reduce to a program appear in its closure.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Enumeration.h"
+#include "core/Primitives.h"
+#include "core/ProgramParser.h"
+#include "vs/VersionSpace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dc;
+
+namespace {
+
+Grammar testGrammar(int WeightSeed) {
+  std::vector<ExprPtr> Core = prims::functionalCore();
+  Grammar G = Grammar::uniform(Core);
+  if (WeightSeed == 0)
+    return G;
+  // Deterministically skewed weights: stress the normalizers.
+  std::mt19937 Rng(WeightSeed);
+  std::uniform_real_distribution<double> W(-2.0, 2.0);
+  for (Production &P : G.productions())
+    P.LogWeight = W(Rng);
+  G.setLogVariable(W(Rng));
+  return G;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Sampling / likelihood duality
+//===----------------------------------------------------------------------===//
+
+class SamplingProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SamplingProperty, SamplesScoreFinitelyUnderTheirGrammar) {
+  Grammar G = testGrammar(GetParam());
+  std::mt19937 Rng(100 + GetParam());
+  TypePtr Requests[] = {
+      Type::arrow(tInt(), tInt()),
+      Type::arrow(tList(tInt()), tList(tInt())),
+      Type::arrow(tList(tInt()), tInt()),
+      Type::arrow(tList(tInt()), tBool()),
+  };
+  // Strongly skewed weights make deep samples hit the depth bound more
+  // often, so the yield varies; the invariant under test is that every
+  // sample that *does* complete scores finitely.
+  int Checked = 0;
+  for (const TypePtr &Req : Requests)
+    for (int I = 0; I < 60; ++I) {
+      ExprPtr P = G.sample(Req, Rng);
+      if (!P)
+        continue;
+      double LL = G.logLikelihood(Req, P);
+      EXPECT_TRUE(std::isfinite(LL)) << P->show();
+      EXPECT_LE(LL, 1e-9) << "log probabilities cannot be positive: "
+                          << P->show();
+      ++Checked;
+    }
+  EXPECT_GT(Checked, 20);
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightSeeds, SamplingProperty,
+                         ::testing::Values(0, 1, 2, 3, 7));
+
+//===----------------------------------------------------------------------===//
+// Enumeration / likelihood duality
+//===----------------------------------------------------------------------===//
+
+class EnumerationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EnumerationProperty, ReportedPriorsMatchRecomputedLikelihood) {
+  Grammar G = testGrammar(GetParam());
+  TypePtr Req = Type::arrow(tInt(), tInt());
+  long Nodes = 300000;
+  int Checked = 0;
+  enumerateWindow(G, Req, 0, 6.0, Nodes, [&](ExprPtr P, double LogPrior) {
+    EXPECT_NEAR(LogPrior, G.logLikelihood(Req, P), 1e-6) << P->show();
+    return ++Checked < 150;
+  });
+  EXPECT_GT(Checked, 2);
+}
+
+TEST_P(EnumerationProperty, EnumerationIsDeterministic) {
+  Grammar G = testGrammar(GetParam());
+  TypePtr Req = Type::arrow(tList(tInt()), tInt());
+  auto Collect = [&] {
+    long Nodes = 200000;
+    std::vector<ExprPtr> Out;
+    enumerateWindow(G, Req, 0, 6.0, Nodes, [&](ExprPtr P, double) {
+      Out.push_back(P);
+      return Out.size() < 200;
+    });
+    return Out;
+  };
+  EXPECT_EQ(Collect(), Collect());
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightSeeds, EnumerationProperty,
+                         ::testing::Values(0, 1, 5));
+
+//===----------------------------------------------------------------------===//
+// Version-space consistency across a program sweep (Theorem G.5)
+//===----------------------------------------------------------------------===//
+
+class RefactoringProperty : public ::testing::TestWithParam<const char *> {
+protected:
+  void SetUp() override {
+    prims::functionalCore();
+    prims::arithmeticExtras();
+    prims::mcCarthy1959();
+  }
+};
+
+TEST_P(RefactoringProperty, ClosureMembersReduceToOriginal) {
+  ExprPtr P = parseProgram(GetParam());
+  ASSERT_NE(P, nullptr) << GetParam();
+  VersionTable VT;
+  VsId Closure = VT.betaClosure(P, 2);
+  int Checked = 0;
+  for (ExprPtr R : VT.extensionSample(Closure, 60)) {
+    EXPECT_EQ(R->betaNormalForm(512), P)
+        << R->show() << " is not a refactoring of " << GetParam();
+    ++Checked;
+  }
+  EXPECT_GT(Checked, 0);
+}
+
+TEST_P(RefactoringProperty, ExtractionRecoversAMinimalMember) {
+  ExprPtr P = parseProgram(GetParam());
+  ASSERT_NE(P, nullptr);
+  VersionTable VT;
+  VsId Closure = VT.betaClosure(P, 2);
+  ExprPtr Cheapest = VT.extractCheapest(Closure);
+  ASSERT_NE(Cheapest, nullptr);
+  // The original is in its own closure, so the minimum is at most it.
+  EXPECT_LE(Cheapest->size(), P->size());
+  EXPECT_EQ(Cheapest->betaNormalForm(512), P);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, RefactoringProperty,
+    ::testing::Values(
+        "(+ 5 5)", "(* (+ 1 1) (+ 5 5))", "(lambda (+ $0 $0))",
+        "(lambda (map (lambda (+ $0 1)) $0))",
+        "(lambda (cons (car $0) nil))",
+        "(lambda (fold (lambda (lambda (+ $1 $0))) 0 $0))",
+        "(lambda (if (is-nil $0) 0 (car $0)))"));
+
+//===----------------------------------------------------------------------===//
+// Completeness spot checks (Theorem G.6 flavor)
+//===----------------------------------------------------------------------===//
+
+TEST(RefactoringCompleteness, HandBuiltRedexesAppearInTheClosure) {
+  prims::functionalCore();
+  prims::arithmeticExtras();
+  struct Case {
+    const char *Original;
+    const char *Refactoring; // must β-reduce to Original
+  };
+  const Case Cases[] = {
+      {"(+ 5 5)", "((lambda (+ $0 $0)) 5)"},
+      {"(+ 5 5)", "((lambda (+ $0 5)) 5)"},
+      {"(+ 5 5)", "((lambda (+ 5 $0)) 5)"},
+      {"(* 4 (+ 4 1))", "((lambda (* $0 (+ $0 1))) 4)"},
+      {"(lambda (+ $0 1))", "(lambda ((lambda (+ $0 1)) $0))"},
+      {"(lambda (cons (car $0) nil))",
+       "(lambda ((lambda (cons $0 nil)) (car $0)))"},
+  };
+  for (const Case &C : Cases) {
+    ExprPtr P = parseProgram(C.Original);
+    ExprPtr R = parseProgram(C.Refactoring);
+    ASSERT_NE(P, nullptr) << C.Original;
+    ASSERT_NE(R, nullptr) << C.Refactoring;
+    ASSERT_EQ(R->betaNormalForm(128), P)
+        << "test case is wrong: " << C.Refactoring;
+    VersionTable VT;
+    VsId Closure = VT.betaClosure(P, 2);
+    EXPECT_TRUE(VT.extensionContains(Closure, R))
+        << C.Refactoring << " missing from the closure of " << C.Original;
+  }
+}
+
+TEST(RefactoringCompleteness, TwoIndependentSubtreeRewritesCompose) {
+  // The paper's equivalence-aggregation claim: Iβ(ρ) contains members
+  // where *both* subtrees were refactored, even at n=1.
+  prims::functionalCore();
+  prims::arithmeticExtras();
+  ExprPtr P = parseProgram("(* (+ 1 1) (+ 5 5))");
+  ExprPtr Both = parseProgram(
+      "(* ((lambda (+ $0 $0)) 1) ((lambda (+ $0 $0)) 5))");
+  VersionTable VT;
+  EXPECT_TRUE(VT.extensionContains(VT.betaClosure(P, 1), Both));
+}

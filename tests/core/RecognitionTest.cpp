@@ -1,0 +1,147 @@
+//===- tests/core/RecognitionTest.cpp - Recognition model unit tests ------===//
+
+#include "core/Recognition.h"
+
+#include "core/Enumeration.h"
+#include "core/Primitives.h"
+#include "core/ProgramParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dc;
+
+namespace {
+
+class RecognitionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    std::vector<ExprPtr> Prims = prims::functionalCore();
+    G = Grammar::uniform(Prims);
+  }
+
+  TaskPtr intTask(const std::string &Name,
+                  const std::function<long(long)> &F) {
+    std::vector<Example> Ex;
+    for (long X : {1, 2, 3, 5, 8})
+      Ex.push_back({{Value::makeInt(X)}, Value::makeInt(F(X))});
+    return std::make_shared<Task>(Name, Type::arrow(tInt(), tInt()), Ex);
+  }
+
+  Grammar G;
+  IoFeaturizer Featurizer;
+};
+
+} // namespace
+
+TEST_F(RecognitionTest, PredictionsAreWellFormedGrammars) {
+  RecognitionParams RP;
+  RP.TrainingSteps = 50;
+  RecognitionModel Model(G, Featurizer, RP);
+  TaskPtr T = intTask("inc", [](long X) { return X + 1; });
+  ContextualGrammar CG = Model.predict(*T);
+  EXPECT_EQ(CG.productions().size(), G.productions().size());
+  // All slot weights are clamped.
+  for (const Production &P : CG.slot(ParentStart, 0).productions())
+    EXPECT_LE(std::fabs(P.LogWeight), RP.LogitClamp + 1e-5);
+}
+
+TEST_F(RecognitionTest, TrainingReducesLoss) {
+  RecognitionParams RP;
+  RP.TrainingSteps = 60;
+  RP.Seed = 1;
+  RecognitionModel Short(G, Featurizer, RP);
+  RP.TrainingSteps = 2000;
+  RecognitionModel Long(G, Featurizer, RP);
+
+  std::vector<Fantasy> Pairs;
+  TaskPtr T1 = intTask("inc", [](long X) { return X + 1; });
+  TaskPtr T2 = intTask("dec", [](long X) { return X - 1; });
+  Pairs.push_back({T1, parseProgram("(lambda (+ $0 1))"), -3.0});
+  Pairs.push_back({T2, parseProgram("(lambda (- $0 1))"), -3.0});
+  Short.trainOnPairs(Pairs);
+  Long.trainOnPairs(Pairs);
+  EXPECT_LT(Long.lastLoss(), Short.lastLoss());
+}
+
+TEST_F(RecognitionTest, GuidanceIsTaskConditioned) {
+  // Train on two tasks with different solutions; the predicted grammar
+  // must assign the right program more probability under its own task.
+  RecognitionParams RP;
+  RP.TrainingSteps = 3000;
+  RP.Seed = 2;
+  RecognitionModel Model(G, Featurizer, RP);
+  TaskPtr Inc = intTask("inc", [](long X) { return X + 1; });
+  TaskPtr Dbl = intTask("dbl", [](long X) { return X + X; });
+  ExprPtr IncProgram = parseProgram("(lambda (+ $0 1))");
+  ExprPtr DblProgram = parseProgram("(lambda (+ $0 $0))");
+  Model.trainOnPairs({{Inc, IncProgram, -3.0}, {Dbl, DblProgram, -3.0}});
+
+  TypePtr Req = Type::arrow(tInt(), tInt());
+  auto ScoreUnder = [&](const Task &T, ExprPtr P) {
+    ContextualGrammar Q = Model.predict(T);
+    double LL = 0;
+    bool Ok = walkProgramDecisions(Q, Req, P,
+                                   [&](int, int, const GrammarCandidate &C,
+                                       const std::vector<GrammarCandidate> &) {
+                                     LL += C.LogProb;
+                                   });
+    return Ok ? LL : -1e9;
+  };
+  EXPECT_GT(ScoreUnder(*Inc, IncProgram), ScoreUnder(*Inc, DblProgram));
+  EXPECT_GT(ScoreUnder(*Dbl, DblProgram), ScoreUnder(*Dbl, IncProgram));
+}
+
+TEST_F(RecognitionTest, GuidedSearchBeatsUniformSearch) {
+  RecognitionParams RP;
+  RP.TrainingSteps = 3000;
+  RP.Seed = 3;
+  RecognitionModel Model(G, Featurizer, RP);
+  TaskPtr Inc = intTask("inc", [](long X) { return X + 1; });
+  Model.trainOnPairs({{Inc, parseProgram("(lambda (+ $0 1))"), -3.0}});
+
+  EnumerationParams Params;
+  Params.NodeBudget = 300000;
+  EnumerationStats Uniform, Guided;
+  solveTask(G, Inc, Params, &Uniform);
+  ContextualGrammar Q = Model.predict(*Inc);
+  Frontier F = solveTask(Q, Inc, Params, &Guided);
+  ASSERT_FALSE(F.empty());
+  ASSERT_FALSE(Guided.EffortToSolve.empty());
+  if (Uniform.EffortToSolve[0] > 0 && Guided.EffortToSolve[0] > 0)
+    EXPECT_LE(Guided.EffortToSolve[0], Uniform.EffortToSolve[0]);
+}
+
+TEST_F(RecognitionTest, UnigramModeCollapsesSlots) {
+  RecognitionParams RP;
+  RP.Bigram = false;
+  RP.TrainingSteps = 10;
+  RecognitionModel Model(G, Featurizer, RP);
+  EXPECT_EQ(Model.slotCount(), 1);
+  TaskPtr T = intTask("inc", [](long X) { return X + 1; });
+  Grammar U = Model.predictUnigram(*T);
+  EXPECT_EQ(U.productions().size(), G.productions().size());
+}
+
+TEST_F(RecognitionTest, TrainHandlesEmptyReplays) {
+  RecognitionParams RP;
+  RP.TrainingSteps = 100;
+  RP.FantasyCount = 30;
+  RecognitionModel Model(G, Featurizer, RP);
+  std::vector<TaskPtr> Seeds = {intTask("seed", [](long X) { return X; })};
+  Model.train({}, Seeds); // fantasies only
+  SUCCEED();
+}
+
+TEST_F(RecognitionTest, FeaturizerDistinguishesTaskFamilies) {
+  TaskPtr A = intTask("inc", [](long X) { return X + 1; });
+  TaskPtr B = intTask("big", [](long X) { return 7 * X + 3; });
+  std::vector<float> FA = Featurizer.featurize(*A);
+  std::vector<float> FB = Featurizer.featurize(*B);
+  ASSERT_EQ(FA.size(), FB.size());
+  double Diff = 0;
+  for (size_t I = 0; I < FA.size(); ++I)
+    Diff += std::fabs(FA[I] - FB[I]);
+  EXPECT_GT(Diff, 0.1);
+  // Determinism.
+  EXPECT_EQ(FA, Featurizer.featurize(*A));
+}

@@ -1,0 +1,133 @@
+//===- tests/core/SamplingTest.cpp - Dream/fantasy machinery tests --------===//
+//
+// The dream phase's data pipeline: fantasy construction from I/O seeds,
+// MAP-grouping semantics, and the domain-specific hooks (LOGO and towers
+// dream in images/plans, regexes dream in sampled strings).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Sampling.h"
+
+#include "core/Primitives.h"
+#include "core/ProgramParser.h"
+#include "domains/LogoDomain.h"
+#include "domains/RegexDomain.h"
+#include "domains/TowerDomain.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace dc;
+
+namespace {
+
+class SamplingTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    G = Grammar::uniform(prims::functionalCore());
+  }
+
+  TaskPtr seedTask() {
+    std::vector<Example> Ex;
+    for (long X : {1, 2, 3})
+      Ex.push_back(
+          {{intList({X, X + 1, X + 2})}, intList({X, X + 1, X + 2})});
+    return std::make_shared<Task>(
+        "seed", Type::arrow(tList(tInt()), tList(tInt())), Ex);
+  }
+
+  Grammar G;
+};
+
+} // namespace
+
+TEST_F(SamplingTest, DefaultHookProducesExactMatchTasks) {
+  std::mt19937 Rng(1);
+  TaskPtr Seed = seedTask();
+  ExprPtr P = parseProgram("(lambda (map (lambda (+ $0 1)) $0))");
+  TaskPtr Dream = defaultFantasyTask(P, Seed, Rng);
+  ASSERT_NE(Dream, nullptr);
+  EXPECT_EQ(Dream->examples().size(), Seed->examples().size());
+  EXPECT_EQ(Dream->logLikelihood(P), 0.0);
+  // A different program that maps differently must not solve the dream.
+  EXPECT_TRUE(std::isinf(
+      Dream->logLikelihood(parseProgram("(lambda (map (lambda (+ $0 $0)) "
+                                        "$0))"))));
+}
+
+TEST_F(SamplingTest, FailingProgramsYieldNoTask) {
+  std::mt19937 Rng(1);
+  TaskPtr Seed = seedTask();
+  // car of the (possibly empty) tail of a singleton fails on some input.
+  ExprPtr Bad = parseProgram("(lambda (car (cdr (cdr (cdr $0)))))");
+  ASSERT_NE(Bad, nullptr);
+  // All seed inputs have length 3, so (cdr (cdr (cdr x))) is empty: fails.
+  EXPECT_EQ(defaultFantasyTask(Bad, Seed, Rng), nullptr);
+}
+
+TEST_F(SamplingTest, FantasyCountIsRespected) {
+  std::mt19937 Rng(5);
+  auto Fs = sampleFantasies(G, {seedTask()}, 15, Rng, /*MapVariant=*/false);
+  EXPECT_LE(Fs.size(), 15u * 6); // attempts bound
+  EXPECT_GE(Fs.size(), 10u);
+}
+
+TEST_F(SamplingTest, MapVariantKeepsHighestPriorPerObservation) {
+  std::mt19937 Rng(5);
+  auto Fs = sampleFantasies(G, {seedTask()}, 40, Rng, /*MapVariant=*/true);
+  std::set<std::string> Names;
+  for (const Fantasy &F : Fs) {
+    EXPECT_TRUE(Names.insert(F.T->name()).second)
+        << "duplicate observation class " << F.T->name();
+    // The representative still solves its own dreamed task.
+    EXPECT_EQ(F.T->logLikelihood(F.Program), 0.0) << F.Program->show();
+  }
+}
+
+TEST(FantasyHooks, LogoDreamsBecomeImageTasks) {
+  DomainSpec D = makeLogoDomain();
+  std::mt19937 Rng(3);
+  ExprPtr Square = parseProgram(
+      "(lambda (logo-for 4 (lambda (logo-move logo-ul "
+      "(logo-div logo-ua 4) $0)) $0))");
+  ASSERT_NE(Square, nullptr);
+  TaskPtr Dream = D.Hook(Square, D.TrainTasks.front(), Rng);
+  ASSERT_NE(Dream, nullptr);
+  EXPECT_EQ(Dream->logLikelihood(Square), 0.0)
+      << "the dreamed image task must accept its own generator";
+  // And the featurizer sees a nontrivial image.
+  auto F = D.Featurizer->featurize(*Dream);
+  float Ink = 0;
+  for (float V : F)
+    Ink += V;
+  EXPECT_GT(Ink, 3.0f);
+}
+
+TEST(FantasyHooks, TowerDreamsBecomePlanTasks) {
+  DomainSpec D = makeTowerDomain();
+  std::mt19937 Rng(3);
+  ExprPtr Stack = parseProgram(
+      "(lambda (tower-for 3 (lambda (tower-place-h $0)) $0))");
+  ASSERT_NE(Stack, nullptr);
+  TaskPtr Dream = D.Hook(Stack, D.TrainTasks.front(), Rng);
+  ASSERT_NE(Dream, nullptr);
+  EXPECT_EQ(Dream->logLikelihood(Stack), 0.0);
+  // An empty plan must not match.
+  EXPECT_TRUE(std::isinf(Dream->logLikelihood(parseProgram("(lambda $0)"))));
+}
+
+TEST(FantasyHooks, RegexDreamsSampleStrings) {
+  DomainSpec D = makeRegexDomain(6);
+  std::mt19937 Rng(9);
+  ExprPtr Money = parseProgram("(r-concat r'$' (r-kleene r-digit))");
+  ASSERT_NE(Money, nullptr);
+  TaskPtr Dream = D.Hook(Money, D.TrainTasks.front(), Rng);
+  ASSERT_NE(Dream, nullptr);
+  // The generator explains its own samples with finite likelihood.
+  EXPECT_TRUE(std::isfinite(Dream->logLikelihood(Money)));
+  auto *RT = dynamic_cast<RegexTask *>(Dream.get());
+  ASSERT_NE(RT, nullptr);
+  for (const std::string &S : RT->strings())
+    EXPECT_EQ(S.rfind('$', 0), 0u) << "sampled string must match: " << S;
+}

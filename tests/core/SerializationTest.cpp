@@ -1,0 +1,136 @@
+//===- tests/core/SerializationTest.cpp - Checkpoint round-trip tests -----===//
+
+#include "core/Serialization.h"
+
+#include "core/Primitives.h"
+#include "core/ProgramParser.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+using namespace dc;
+
+namespace {
+
+class SerializationTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    std::vector<ExprPtr> Prims = prims::functionalCore();
+    G = Grammar::uniform(Prims);
+    G.setLogVariable(-1.25);
+    G.productions()[0].LogWeight = 0.5;
+    G.addProduction(Expr::invented(parseProgram("(lambda (+ $0 1))")));
+  }
+
+  Grammar G;
+};
+
+} // namespace
+
+TEST_F(SerializationTest, GrammarRoundTrip) {
+  std::stringstream SS;
+  serializeGrammar(G, SS);
+  std::string Err;
+  auto G2 = deserializeGrammar(SS, &Err);
+  ASSERT_TRUE(G2.has_value()) << Err;
+  ASSERT_EQ(G2->productions().size(), G.productions().size());
+  EXPECT_DOUBLE_EQ(G2->logVariable(), G.logVariable());
+  for (size_t I = 0; I < G.productions().size(); ++I) {
+    EXPECT_EQ(G2->productions()[I].Program, G.productions()[I].Program)
+        << "hash-consing must make reparsed programs identical";
+    EXPECT_DOUBLE_EQ(G2->productions()[I].LogWeight,
+                     G.productions()[I].LogWeight);
+  }
+  // Inventions survive with their types.
+  EXPECT_EQ(G2->inventionCount(), 1);
+}
+
+TEST_F(SerializationTest, GrammarRejectsGarbage) {
+  std::string Err;
+  {
+    std::stringstream SS("not a grammar\n");
+    EXPECT_FALSE(deserializeGrammar(SS, &Err).has_value());
+    EXPECT_FALSE(Err.empty());
+  }
+  {
+    std::stringstream SS("grammar v1\nproduction oops\nend\n");
+    EXPECT_FALSE(deserializeGrammar(SS).has_value());
+  }
+  {
+    std::stringstream SS("grammar v1\nlogVariable -1\n"); // no end
+    EXPECT_FALSE(deserializeGrammar(SS).has_value());
+  }
+  {
+    std::stringstream SS(
+        "grammar v1\nproduction 0.0 (unknown-prim-xyz)\nend\n");
+    EXPECT_FALSE(deserializeGrammar(SS).has_value());
+  }
+}
+
+TEST_F(SerializationTest, FrontierRoundTripByTaskName) {
+  TypePtr Req = Type::arrow(tInt(), tInt());
+  auto T1 = std::make_shared<Task>("task one", Req, std::vector<Example>{});
+  auto T2 = std::make_shared<Task>("task two", Req, std::vector<Example>{});
+  std::vector<Frontier> Fs = {Frontier(T1), Frontier(T2)};
+  Fs[0].record({parseProgram("(lambda (+ $0 1))"), -3.5, 0.0});
+  Fs[0].record({parseProgram("(lambda (+ 1 $0))"), -4.0, 0.0});
+  Fs[1].record({parseProgram("(lambda $0)"), -1.0, -0.5});
+
+  std::stringstream SS;
+  serializeFrontiers(Fs, SS);
+
+  std::vector<Frontier> Restored = {Frontier(T1), Frontier(T2)};
+  std::string Err;
+  int N = deserializeFrontiers(Restored, SS, &Err);
+  EXPECT_EQ(N, 3) << Err;
+  ASSERT_EQ(Restored[0].entries().size(), 2u);
+  EXPECT_EQ(Restored[0].best()->Program, Fs[0].best()->Program);
+  EXPECT_DOUBLE_EQ(Restored[0].best()->LogPrior, -3.5);
+  ASSERT_EQ(Restored[1].entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(Restored[1].best()->LogLikelihood, -0.5);
+}
+
+TEST_F(SerializationTest, FrontiersForUnknownTasksAreSkipped) {
+  TypePtr Req = Type::arrow(tInt(), tInt());
+  auto Known = std::make_shared<Task>("known", Req, std::vector<Example>{});
+  auto Gone = std::make_shared<Task>("gone", Req, std::vector<Example>{});
+  std::vector<Frontier> Fs = {Frontier(Known), Frontier(Gone)};
+  Fs[0].record({parseProgram("(lambda $0)"), -1, 0});
+  Fs[1].record({parseProgram("(lambda (+ $0 1))"), -2, 0});
+  std::stringstream SS;
+  serializeFrontiers(Fs, SS);
+
+  std::vector<Frontier> Restored = {Frontier(Known)};
+  int N = deserializeFrontiers(Restored, SS);
+  EXPECT_EQ(N, 1);
+  EXPECT_EQ(Restored[0].entries().size(), 1u);
+}
+
+TEST_F(SerializationTest, FileCheckpointRoundTrip) {
+  TypePtr Req = Type::arrow(tInt(), tInt());
+  auto T = std::make_shared<Task>("ckpt-task", Req, std::vector<Example>{});
+  std::vector<Frontier> Fs = {Frontier(T)};
+  Fs[0].record({parseProgram("(lambda (+ $0 1))"), -3.0, 0.0});
+
+  std::string Path = testing::TempDir() + "/dc_checkpoint_test.txt";
+  ASSERT_TRUE(saveCheckpoint(Path, G, Fs));
+
+  Grammar G2;
+  std::vector<Frontier> Fs2 = {Frontier(T)};
+  std::string Err;
+  ASSERT_TRUE(loadCheckpoint(Path, G2, Fs2, &Err)) << Err;
+  EXPECT_EQ(G2.productions().size(), G.productions().size());
+  ASSERT_FALSE(Fs2[0].empty());
+  EXPECT_EQ(Fs2[0].best()->Program, Fs[0].best()->Program);
+  std::remove(Path.c_str());
+}
+
+TEST_F(SerializationTest, LoadRejectsMissingFile) {
+  Grammar G2;
+  std::vector<Frontier> Fs;
+  std::string Err;
+  EXPECT_FALSE(loadCheckpoint("/nonexistent/path/ckpt", G2, Fs, &Err));
+  EXPECT_FALSE(Err.empty());
+}

@@ -1,0 +1,133 @@
+//===- tests/core/TypeTest.cpp - Type system unit tests -------------------===//
+
+#include "core/Type.h"
+
+#include <gtest/gtest.h>
+
+using namespace dc;
+
+TEST(Type, ShowGroundTypes) {
+  EXPECT_EQ(tInt()->show(), "int");
+  EXPECT_EQ(tList(tInt())->show(), "list(int)");
+  EXPECT_EQ(tString()->show(), "list(char)");
+  EXPECT_EQ(t0()->show(), "t0");
+}
+
+TEST(Type, ShowArrows) {
+  TypePtr T = Type::arrow(tInt(), tBool());
+  EXPECT_EQ(T->show(), "int -> bool");
+  TypePtr Curried = Type::arrows({tInt(), tInt()}, tBool());
+  EXPECT_EQ(Curried->show(), "int -> int -> bool");
+  TypePtr HigherOrder = Type::arrow(Type::arrow(tInt(), tBool()), tInt());
+  EXPECT_EQ(HigherOrder->show(), "(int -> bool) -> int");
+}
+
+TEST(Type, ArrowAccessors) {
+  TypePtr T = Type::arrows({tInt(), tBool()}, tChar());
+  EXPECT_TRUE(T->isArrow());
+  EXPECT_EQ(functionArity(T), 2);
+  EXPECT_EQ(functionReturn(T)->show(), "char");
+  auto Args = functionArguments(T);
+  ASSERT_EQ(Args.size(), 2u);
+  EXPECT_EQ(Args[0]->show(), "int");
+  EXPECT_EQ(Args[1]->show(), "bool");
+}
+
+TEST(Type, NonArrowHasArityZero) {
+  EXPECT_EQ(functionArity(tInt()), 0);
+  EXPECT_TRUE(functionArguments(tInt()).empty());
+  EXPECT_EQ(functionReturn(tInt())->show(), "int");
+}
+
+TEST(Type, Monomorphism) {
+  EXPECT_TRUE(tInt()->isMonomorphic());
+  EXPECT_TRUE(tList(tInt())->isMonomorphic());
+  EXPECT_FALSE(t0()->isMonomorphic());
+  EXPECT_FALSE(tList(t0())->isMonomorphic());
+}
+
+TEST(Type, StructuralEquality) {
+  EXPECT_TRUE(tList(tInt())->equals(*tList(tInt())));
+  EXPECT_FALSE(tList(tInt())->equals(*tList(tBool())));
+  EXPECT_TRUE(t0()->equals(*Type::variable(0)));
+  EXPECT_FALSE(t0()->equals(*t1()));
+}
+
+TEST(TypeContext, FreshVariablesAreDistinct) {
+  TypeContext Ctx;
+  TypePtr A = Ctx.makeVariable();
+  TypePtr B = Ctx.makeVariable();
+  EXPECT_NE(A->variableId(), B->variableId());
+}
+
+TEST(TypeContext, UnifyVariableWithGround) {
+  TypeContext Ctx;
+  TypePtr V = Ctx.makeVariable();
+  EXPECT_TRUE(Ctx.unify(V, tInt()));
+  EXPECT_EQ(Ctx.apply(V)->show(), "int");
+}
+
+TEST(TypeContext, UnifyCongruence) {
+  TypeContext Ctx;
+  TypePtr V = Ctx.makeVariable();
+  EXPECT_TRUE(Ctx.unify(tList(V), tList(tBool())));
+  EXPECT_EQ(Ctx.apply(V)->show(), "bool");
+}
+
+TEST(TypeContext, UnifyFailsOnMismatch) {
+  TypeContext Ctx;
+  EXPECT_FALSE(Ctx.unify(tInt(), tBool()));
+  EXPECT_FALSE(Ctx.unify(tList(tInt()), tInt()));
+}
+
+TEST(TypeContext, OccursCheck) {
+  TypeContext Ctx;
+  TypePtr V = Ctx.makeVariable();
+  EXPECT_FALSE(Ctx.unify(V, tList(V)));
+}
+
+TEST(TypeContext, UnifyThroughChains) {
+  TypeContext Ctx;
+  TypePtr A = Ctx.makeVariable();
+  TypePtr B = Ctx.makeVariable();
+  EXPECT_TRUE(Ctx.unify(A, B));
+  EXPECT_TRUE(Ctx.unify(B, tChar()));
+  EXPECT_EQ(Ctx.apply(A)->show(), "char");
+}
+
+TEST(TypeContext, InstantiateRenamesConsistently) {
+  TypeContext Ctx;
+  // t0 -> t0 -> t1 must rename t0 to one fresh variable used twice.
+  TypePtr Poly = Type::arrows({t0(), t0()}, t1());
+  TypePtr Inst = Ctx.instantiate(Poly);
+  auto Args = functionArguments(Inst);
+  ASSERT_EQ(Args.size(), 2u);
+  EXPECT_TRUE(Args[0]->equals(*Args[1]));
+  EXPECT_FALSE(Args[0]->equals(*functionReturn(Inst)));
+}
+
+TEST(TypeContext, UnifyArrowDecomposition) {
+  TypeContext Ctx;
+  TypePtr A = Ctx.makeVariable();
+  TypePtr B = Ctx.makeVariable();
+  TypePtr Fn = Type::arrow(A, B);
+  EXPECT_TRUE(Ctx.unify(Fn, Type::arrow(tInt(), tList(tInt()))));
+  EXPECT_EQ(Ctx.apply(A)->show(), "int");
+  EXPECT_EQ(Ctx.apply(B)->show(), "list(int)");
+}
+
+TEST(Type, Canonicalize) {
+  TypePtr Messy = Type::arrows({Type::variable(7), Type::variable(3)},
+                               Type::variable(7));
+  TypePtr Canon = canonicalize(Messy);
+  EXPECT_EQ(Canon->show(), "t0 -> t1 -> t0");
+}
+
+TEST(Type, CollectVariables) {
+  TypePtr T = Type::arrows({t1(), t0()}, t1());
+  std::vector<int> Vars;
+  T->collectVariables(Vars);
+  ASSERT_EQ(Vars.size(), 2u);
+  EXPECT_EQ(Vars[0], 1);
+  EXPECT_EQ(Vars[1], 0);
+}

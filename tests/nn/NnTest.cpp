@@ -1,0 +1,133 @@
+//===- tests/nn/NnTest.cpp - Neural network substrate unit tests ----------===//
+
+#include "nn/Layers.h"
+#include "nn/Optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace dc::nn;
+
+TEST(Matrix, MatvecBasics) {
+  Matrix M(2, 3);
+  M.at(0, 0) = 1;
+  M.at(0, 1) = 2;
+  M.at(0, 2) = 3;
+  M.at(1, 0) = -1;
+  M.at(1, 1) = 0;
+  M.at(1, 2) = 1;
+  std::vector<float> Y = M.matvec({1, 1, 1});
+  ASSERT_EQ(Y.size(), 2u);
+  EXPECT_FLOAT_EQ(Y[0], 6);
+  EXPECT_FLOAT_EQ(Y[1], 0);
+  std::vector<float> Z = M.matvecTransposed({1, 2});
+  ASSERT_EQ(Z.size(), 3u);
+  EXPECT_FLOAT_EQ(Z[0], -1);
+  EXPECT_FLOAT_EQ(Z[1], 2);
+  EXPECT_FLOAT_EQ(Z[2], 5);
+}
+
+TEST(Matrix, AddOuter) {
+  Matrix M(2, 2);
+  M.addOuter({1, 2}, {3, 4}, 0.5f);
+  EXPECT_FLOAT_EQ(M.at(0, 0), 1.5);
+  EXPECT_FLOAT_EQ(M.at(1, 1), 4.0);
+}
+
+TEST(Matrix, GlorotInitializationBounded) {
+  std::mt19937 Rng(1);
+  Matrix M = Matrix::glorot(16, 16, Rng);
+  float Bound = std::sqrt(6.0f / 32.0f);
+  for (size_t I = 0; I < M.size(); ++I) {
+    EXPECT_LE(std::fabs(M.data()[I]), Bound + 1e-6);
+  }
+}
+
+TEST(MaskedLogSoftmax, NormalizesOverActiveSet) {
+  std::vector<float> Logits = {1.0f, 2.0f, 3.0f, 100.0f};
+  std::vector<int> Active = {0, 1, 2};
+  std::vector<float> Out = maskedLogSoftmax(Logits, Active);
+  double Total = 0;
+  for (int I : Active)
+    Total += std::exp(Out[I]);
+  EXPECT_NEAR(Total, 1.0, 1e-5);
+  EXPECT_FLOAT_EQ(Out[3], 100.0f) << "masked entries stay untouched";
+  EXPECT_GT(Out[2], Out[1]);
+}
+
+TEST(Linear, GradientMatchesFiniteDifference) {
+  std::mt19937 Rng(3);
+  Linear L(4, 3, Rng);
+  std::vector<float> X = {0.5f, -1.0f, 2.0f, 0.1f};
+  // Loss = sum of outputs; dL/dy = ones.
+  auto Loss = [&] {
+    std::vector<float> Y = L.forward(X);
+    float S = 0;
+    for (float V : Y)
+      S += V;
+    return S;
+  };
+  Loss();
+  L.zeroGrad();
+  L.backward({1, 1, 1});
+  const float H = 1e-3f;
+  float W0 = L.W.at(1, 2);
+  float Before = Loss();
+  L.W.at(1, 2) = W0 + H;
+  float After = Loss();
+  L.W.at(1, 2) = W0;
+  float Numeric = (After - Before) / H;
+  EXPECT_NEAR(L.DW.at(1, 2), Numeric, 1e-2);
+}
+
+TEST(Mlp, GradientMatchesFiniteDifference) {
+  std::mt19937 Rng(5);
+  Mlp Net(3, 8, 2, Rng);
+  std::vector<float> X = {0.2f, -0.7f, 1.1f};
+  auto Loss = [&] {
+    std::vector<float> Y = Net.forward(X);
+    return Y[0] * Y[0] + 0.5f * Y[1];
+  };
+  std::vector<float> Y = Net.forward(X);
+  Net.zeroGrad();
+  Net.backward({2 * Y[0], 0.5f});
+
+  float P0 = Net.L1.W.at(2, 1);
+  const float H = 1e-3f;
+  float Before = Loss();
+  Net.L1.W.at(2, 1) = P0 + H;
+  float After = Loss();
+  Net.L1.W.at(2, 1) = P0;
+  float Numeric = (After - Before) / H;
+  EXPECT_NEAR(Net.L1.DW.at(2, 1), Numeric, 5e-2);
+}
+
+TEST(Adam, LearnsALinearMap) {
+  std::mt19937 Rng(9);
+  Mlp Net(2, 16, 1, Rng);
+  Adam Opt(Net, 1e-2f);
+  // Target: y = 2a - b.
+  std::uniform_real_distribution<float> U(-1, 1);
+  double FinalLoss = 0;
+  for (int Step = 0; Step < 3000; ++Step) {
+    float A = U(Rng), B = U(Rng);
+    float Target = 2 * A - B;
+    std::vector<float> Y = Net.forward({A, B});
+    float Err = Y[0] - Target;
+    Net.backward({2 * Err});
+    Opt.step();
+    FinalLoss = Err * Err;
+  }
+  EXPECT_LT(FinalLoss, 0.05);
+}
+
+TEST(Mlp, ParameterSegmentsCoverEverything) {
+  std::mt19937 Rng(2);
+  Mlp Net(4, 8, 3, Rng);
+  size_t Total = 0;
+  for (const auto &Seg : Net.parameterSegments())
+    Total += Seg.Size;
+  EXPECT_EQ(Total, Net.parameterCount());
+  EXPECT_EQ(Total, 4u * 8 + 8 + 8u * 8 + 8 + 8u * 3 + 3);
+}

@@ -1,0 +1,208 @@
+//===- tests/vs/CompressionTest.cpp - Abstraction sleep unit tests --------===//
+
+#include "vs/Compression.h"
+
+#include "core/Primitives.h"
+#include "core/ProgramParser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dc;
+
+namespace {
+
+class CompressionTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    std::vector<ExprPtr> Core = prims::functionalCore();
+    std::vector<ExprPtr> Extra = prims::arithmeticExtras();
+    Core.insert(Core.end(), Extra.begin(), Extra.end());
+    G = Grammar::uniform(Core);
+  }
+
+  /// Builds a one-entry frontier around a known solution (likelihood 0).
+  Frontier solvedFrontier(const std::string &Name, const std::string &Src,
+                          TypePtr Request) {
+    ExprPtr P = parseProgram(Src);
+    EXPECT_NE(P, nullptr) << Src;
+    auto T = std::make_shared<Task>(Name, Request, std::vector<Example>{});
+    Frontier F(T);
+    F.record({P, G.logLikelihood(Request, P), 0.0});
+    return F;
+  }
+
+  Grammar G;
+};
+
+} // namespace
+
+TEST_F(CompressionTest, LibraryScoreIsFiniteOnSolvedFrontiers) {
+  std::vector<Frontier> Fs = {
+      solvedFrontier("t1", "(lambda (+ $0 1))", Type::arrow(tInt(), tInt())),
+  };
+  Grammar G2 = G;
+  double S = libraryScore(G2, Fs);
+  EXPECT_TRUE(std::isfinite(S));
+}
+
+TEST_F(CompressionTest, NoInventionFromASingleSimpleProgram) {
+  // One tiny program cannot justify paying the structure penalty.
+  std::vector<Frontier> Fs = {
+      solvedFrontier("t1", "(lambda (+ $0 1))", Type::arrow(tInt(), tInt())),
+  };
+  CompressionParams Params;
+  CompressionResult R = compressLibrary(G, Fs, Params);
+  EXPECT_TRUE(R.NewInventions.empty());
+  EXPECT_EQ(R.NewGrammar.productions().size(), G.productions().size());
+}
+
+TEST_F(CompressionTest, SharedIdiomBecomesAnInvention) {
+  // Several tasks share the "double" idiom (+ x x) — one primitive with a
+  // repeated variable, exactly the kind of routine worth inventing.
+  TypePtr Req = Type::arrow(tList(tInt()), tList(tInt()));
+  std::vector<Frontier> Fs = {
+      solvedFrontier("double", "(lambda (map (lambda (+ $0 $0)) $0))", Req),
+      solvedFrontier("double-tail",
+                     "(lambda (map (lambda (+ $0 $0)) (cdr $0)))", Req),
+      solvedFrontier("double-head",
+                     "(lambda (cons (+ (car $0) (car $0)) nil))", Req),
+      solvedFrontier("quadruple",
+                     "(lambda (map (lambda (+ $0 $0)) "
+                     "(map (lambda (+ $0 $0)) $0)))",
+                     Req),
+  };
+  CompressionParams Params;
+  Params.StructurePenalty = 0.5;
+  CompressionResult R = compressLibrary(G, Fs, Params);
+  ASSERT_FALSE(R.NewInventions.empty());
+  EXPECT_GT(R.FinalScore, R.InitialScore);
+  // Rewritten programs must still be well typed and different from raw.
+  for (const Frontier &F : R.RewrittenFrontiers) {
+    ASSERT_FALSE(F.empty());
+    EXPECT_NE(F.best()->Program->inferType(), nullptr);
+  }
+}
+
+TEST_F(CompressionTest, RewritingPreservesSemantics) {
+  TypePtr Req = Type::arrow(tList(tInt()), tList(tInt()));
+  const char *Sources[] = {
+      "(lambda (map (lambda (+ $0 $0)) $0))",
+      "(lambda (map (lambda (* $0 $0)) $0))",
+      "(lambda (map (lambda (+ $0 1)) $0))",
+      "(lambda (map (lambda (- $0 1)) $0))",
+  };
+  std::vector<Frontier> Fs;
+  for (const char *Src : Sources)
+    Fs.push_back(solvedFrontier(Src, Src, Req));
+  CompressionParams Params;
+  Params.StructurePenalty = 0.5;
+  CompressionResult R = compressLibrary(G, Fs, Params);
+
+  std::vector<ValuePtr> In;
+  for (long X : {3, 1, 4, 1, 5})
+    In.push_back(Value::makeInt(X));
+  ValuePtr Input = Value::makeList(In);
+  for (size_t I = 0; I < Fs.size(); ++I) {
+    ExprPtr Original = parseProgram(Sources[I]);
+    ExprPtr Rewritten = R.RewrittenFrontiers[I].best()->Program;
+    ValuePtr A = runProgram(Original, {Input});
+    ValuePtr B = runProgram(Rewritten, {Input});
+    ASSERT_NE(A, nullptr);
+    ASSERT_NE(B, nullptr) << Rewritten->show();
+    EXPECT_TRUE(A->equals(*B))
+        << Original->show() << " vs " << Rewritten->show();
+  }
+}
+
+TEST_F(CompressionTest, PaperFigureTwoMapRediscovery) {
+  // The paper's Fig 2: two recursive Y-combinator programs whose only
+  // common structure is exposed by refactoring — compression should find a
+  // map-like higher-order routine.
+  std::vector<ExprPtr> Lisp = prims::mcCarthy1959();
+  Grammar Base = Grammar::uniform(Lisp);
+  TypePtr Req = Type::arrow(tList(tInt()), tList(tInt()));
+  const char *DoubleSrc =
+      "(lambda (fix (lambda (lambda (if (is-nil $0) nil "
+      "(cons (+ (car $0) (car $0)) ($1 (cdr $0)))))) $0))";
+  const char *DecrSrc =
+      "(lambda (fix (lambda (lambda (if (is-nil $0) nil "
+      "(cons (- (car $0) 1) ($1 (cdr $0)))))) $0))";
+  const char *IncrSrc =
+      "(lambda (fix (lambda (lambda (if (is-nil $0) nil "
+      "(cons (+ (car $0) 1) ($1 (cdr $0)))))) $0))";
+
+  std::vector<Frontier> Fs;
+  for (const char *Src : {DoubleSrc, DecrSrc, IncrSrc}) {
+    ExprPtr P = parseProgram(Src);
+    ASSERT_NE(P, nullptr) << Src;
+    auto T = std::make_shared<Task>(Src, Req, std::vector<Example>{});
+    Frontier F(T);
+    F.record({P, Base.logLikelihood(Req, P), 0.0});
+    Fs.push_back(F);
+  }
+
+  CompressionParams Params;
+  Params.RefactorSteps = 3;
+  Params.StructurePenalty = 0.5;
+  CompressionResult R = compressLibrary(Base, Fs, Params);
+  ASSERT_FALSE(R.NewInventions.empty()) << "refactoring must find structure";
+
+  // Some invention must be higher-order (take a function argument) — the
+  // essence of map.
+  bool FoundHigherOrder = false;
+  for (ExprPtr Inv : R.NewInventions) {
+    TypePtr T = Inv->declaredType();
+    for (const TypePtr &Arg : functionArguments(T))
+      if (Arg->isArrow())
+        FoundHigherOrder = true;
+  }
+  EXPECT_TRUE(FoundHigherOrder)
+      << "expected a map-like higher-order invention; got "
+      << R.NewInventions.front()->show();
+
+  // Rewritten programs shrink.
+  for (size_t I = 0; I < Fs.size(); ++I)
+    EXPECT_LT(R.RewrittenFrontiers[I].best()->Program->size(),
+              Fs[I].best()->Program->size());
+}
+
+TEST_F(CompressionTest, EcBaselineOnlyProposesSubtrees) {
+  // With RefactorSteps = 0 the Fig 2 programs share no closed subtree
+  // except trivia, so EC finds no higher-order routine.
+  std::vector<ExprPtr> Lisp = prims::mcCarthy1959();
+  Grammar Base = Grammar::uniform(Lisp);
+  TypePtr Req = Type::arrow(tList(tInt()), tList(tInt()));
+  const char *DoubleSrc =
+      "(lambda (fix (lambda (lambda (if (is-nil $0) nil "
+      "(cons (+ (car $0) (car $0)) ($1 (cdr $0)))))) $0))";
+  const char *DecrSrc =
+      "(lambda (fix (lambda (lambda (if (is-nil $0) nil "
+      "(cons (- (car $0) 1) ($1 (cdr $0)))))) $0))";
+  std::vector<Frontier> Fs;
+  for (const char *Src : {DoubleSrc, DecrSrc}) {
+    ExprPtr P = parseProgram(Src);
+    auto T = std::make_shared<Task>(Src, Req, std::vector<Example>{});
+    Frontier F(T);
+    F.record({P, Base.logLikelihood(Req, P), 0.0});
+    Fs.push_back(F);
+  }
+  CompressionParams Params;
+  Params.RefactorSteps = 0;
+  CompressionResult R = compressLibrary(Base, Fs, Params);
+  for (ExprPtr Inv : R.NewInventions) {
+    bool HigherOrder = false;
+    for (const TypePtr &Arg : functionArguments(Inv->declaredType()))
+      if (Arg->isArrow())
+        HigherOrder = true;
+    EXPECT_FALSE(HigherOrder) << Inv->show();
+  }
+}
+
+TEST_F(CompressionTest, EmptyFrontiersPassThrough) {
+  auto T = std::make_shared<Task>("unsolved", Type::arrow(tInt(), tInt()),
+                                  std::vector<Example>{});
+  std::vector<Frontier> Fs = {Frontier(T)};
+  CompressionResult R = compressLibrary(G, Fs);
+  EXPECT_TRUE(R.NewInventions.empty());
+  EXPECT_TRUE(R.RewrittenFrontiers[0].empty());
+}

@@ -1,0 +1,202 @@
+//===- tools/dc_run.cpp - Command-line wake-sleep driver ------------------===//
+//
+// Runs any domain × system-variant combination from the command line and
+// optionally writes a checkpoint (learned grammar + beams) that future
+// runs can resume from.
+//
+//   dc_run --domain list --variant full --iterations 4 --seed 1 \
+//          --checkpoint out.ckpt --verbose
+//
+// Domains:  list text logo tower regex regression physics origami
+// Variants: full no-rec no-abs memorize memorize-rec ec ec2 enumerate
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Serialization.h"
+#include "core/WakeSleep.h"
+#include "domains/ListDomain.h"
+#include "domains/LogoDomain.h"
+#include "domains/OrigamiDomain.h"
+#include "domains/PhysicsDomain.h"
+#include "domains/RegexDomain.h"
+#include "domains/RegressionDomain.h"
+#include "domains/TextDomain.h"
+#include "domains/TowerDomain.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+using namespace dc;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--domain NAME] [--variant NAME] [--iterations N]\n"
+      "          [--minibatch N] [--seed N] [--node-budget N]\n"
+      "          [--checkpoint PATH] [--resume PATH] [--verbose]\n"
+      "domains:  list text logo tower regex regression physics origami\n"
+      "variants: full no-rec no-abs memorize memorize-rec ec ec2 "
+      "enumerate\n",
+      Argv0);
+}
+
+std::optional<DomainSpec> domainByName(const std::string &Name,
+                                       unsigned Seed) {
+  if (Name == "list")
+    return makeListDomain(Seed ? Seed : 1);
+  if (Name == "text")
+    return makeTextDomain(Seed ? Seed : 2);
+  if (Name == "logo")
+    return makeLogoDomain();
+  if (Name == "tower")
+    return makeTowerDomain();
+  if (Name == "regex")
+    return makeRegexDomain(Seed ? Seed : 6);
+  if (Name == "regression")
+    return makeRegressionDomain(Seed ? Seed : 7);
+  if (Name == "physics")
+    return makePhysicsDomain(Seed ? Seed : 11);
+  if (Name == "origami")
+    return makeOrigamiDomain(Seed ? Seed : 5);
+  return std::nullopt;
+}
+
+std::optional<SystemVariant> variantByName(const std::string &Name) {
+  if (Name == "full")
+    return SystemVariant::Full;
+  if (Name == "no-rec")
+    return SystemVariant::NoRecognition;
+  if (Name == "no-abs")
+    return SystemVariant::NoAbstraction;
+  if (Name == "memorize")
+    return SystemVariant::MemorizeNoRec;
+  if (Name == "memorize-rec")
+    return SystemVariant::MemorizeRec;
+  if (Name == "ec")
+    return SystemVariant::Ec;
+  if (Name == "ec2")
+    return SystemVariant::Ec2;
+  if (Name == "enumerate")
+    return SystemVariant::EnumerationOnly;
+  return std::nullopt;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string DomainName = "list";
+  std::string VariantName = "full";
+  std::string CheckpointPath, ResumePath;
+  WakeSleepConfig Config;
+  Config.Iterations = 3;
+  Config.EvaluateTestEachCycle = false;
+  long NodeBudget = 0;
+  unsigned Seed = 0;
+
+  for (int I = 1; I < Argc; ++I) {
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        usage(Argv[0]);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (!std::strcmp(Argv[I], "--domain"))
+      DomainName = Next();
+    else if (!std::strcmp(Argv[I], "--variant"))
+      VariantName = Next();
+    else if (!std::strcmp(Argv[I], "--iterations"))
+      Config.Iterations = std::atoi(Next());
+    else if (!std::strcmp(Argv[I], "--minibatch"))
+      Config.MinibatchSize = std::atoi(Next());
+    else if (!std::strcmp(Argv[I], "--seed"))
+      Seed = static_cast<unsigned>(std::atoi(Next()));
+    else if (!std::strcmp(Argv[I], "--node-budget"))
+      NodeBudget = std::atol(Next());
+    else if (!std::strcmp(Argv[I], "--checkpoint"))
+      CheckpointPath = Next();
+    else if (!std::strcmp(Argv[I], "--resume"))
+      ResumePath = Next();
+    else if (!std::strcmp(Argv[I], "--verbose"))
+      Config.Verbose = true;
+    else {
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+
+  auto Domain = domainByName(DomainName, Seed);
+  if (!Domain) {
+    std::fprintf(stderr, "error: unknown domain '%s'\n",
+                 DomainName.c_str());
+    usage(Argv[0]);
+    return 2;
+  }
+  auto Variant = variantByName(VariantName);
+  if (!Variant) {
+    std::fprintf(stderr, "error: unknown variant '%s'\n",
+                 VariantName.c_str());
+    usage(Argv[0]);
+    return 2;
+  }
+  Config.Variant = *Variant;
+  Config.Seed = Seed;
+  if (NodeBudget > 0)
+    Domain->Search.NodeBudget = NodeBudget;
+
+  std::printf("domain %s: %zu train, %zu test tasks; variant %s\n",
+              Domain->Name.c_str(), Domain->TrainTasks.size(),
+              Domain->TestTasks.size(), variantName(Config.Variant));
+
+  // Note: --resume restores a learned library as the *base* language of a
+  // fresh run (warm start), matching how checkpointed libraries are used.
+  if (!ResumePath.empty()) {
+    Grammar Restored;
+    std::vector<Frontier> Ignore;
+    std::string Err;
+    if (!loadCheckpoint(ResumePath, Restored, Ignore, &Err)) {
+      std::fprintf(stderr, "error: cannot resume from %s: %s\n",
+                   ResumePath.c_str(), Err.c_str());
+      return 1;
+    }
+    Domain->BasePrimitives.clear();
+    for (const Production &P : Restored.productions())
+      Domain->BasePrimitives.push_back(P.Program);
+    std::printf("resumed %zu productions from %s\n",
+                Restored.productions().size(), ResumePath.c_str());
+  }
+
+  WakeSleepResult R = runWakeSleep(*Domain, Config);
+
+  std::printf("\nper-cycle metrics:\n");
+  std::printf("  %-6s %10s %10s %10s %10s\n", "cycle", "train", "test",
+              "lib size", "lib depth");
+  for (const CycleMetrics &M : R.Cycles)
+    std::printf("  %-6d %10d %10d %10d %10d\n", M.Cycle,
+                M.TrainSolvedCumulative, M.TestSolved, M.LibrarySize,
+                M.LibraryDepth);
+
+  std::printf("\nlearned library:\n");
+  for (const Production &P : R.FinalGrammar.productions())
+    if (P.Program->isInvented())
+      std::printf("  %s : %s\n", P.Program->show().c_str(),
+                  P.Ty->show().c_str());
+  std::printf("\nfinal: train %d/%zu, test %d/%d\n", R.trainSolved(),
+              Domain->TrainTasks.size(), R.FinalTestSolved,
+              R.TestTaskCount);
+
+  if (!CheckpointPath.empty()) {
+    if (saveCheckpoint(CheckpointPath, R.FinalGrammar, R.TrainFrontiers))
+      std::printf("checkpoint written to %s\n", CheckpointPath.c_str());
+    else {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   CheckpointPath.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

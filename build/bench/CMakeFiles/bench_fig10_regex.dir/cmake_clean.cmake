@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_regex.dir/bench_fig10_regex.cpp.o"
+  "CMakeFiles/bench_fig10_regex.dir/bench_fig10_regex.cpp.o.d"
+  "bench_fig10_regex"
+  "bench_fig10_regex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_regex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

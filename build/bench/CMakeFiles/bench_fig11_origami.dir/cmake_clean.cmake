@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_origami.dir/bench_fig11_origami.cpp.o"
+  "CMakeFiles/bench_fig11_origami.dir/bench_fig11_origami.cpp.o.d"
+  "bench_fig11_origami"
+  "bench_fig11_origami.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_origami.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

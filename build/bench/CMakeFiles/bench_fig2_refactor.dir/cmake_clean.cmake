@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_refactor.dir/bench_fig2_refactor.cpp.o"
+  "CMakeFiles/bench_fig2_refactor.dir/bench_fig2_refactor.cpp.o.d"
+  "bench_fig2_refactor"
+  "bench_fig2_refactor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_refactor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

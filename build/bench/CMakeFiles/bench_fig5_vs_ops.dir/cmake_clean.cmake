@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_vs_ops.dir/bench_fig5_vs_ops.cpp.o"
+  "CMakeFiles/bench_fig5_vs_ops.dir/bench_fig5_vs_ops.cpp.o.d"
+  "bench_fig5_vs_ops"
+  "bench_fig5_vs_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_vs_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_symmetry.cpp" "bench/CMakeFiles/bench_fig6_symmetry.dir/bench_fig6_symmetry.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_symmetry.dir/bench_fig6_symmetry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dc_wakesleep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_recognition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_vs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_ablations.dir/bench_fig7_ablations.cpp.o"
+  "CMakeFiles/bench_fig7_ablations.dir/bench_fig7_ablations.cpp.o.d"
+  "bench_fig7_ablations"
+  "bench_fig7_ablations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_logo.dir/bench_fig8_logo.cpp.o"
+  "CMakeFiles/bench_fig8_logo.dir/bench_fig8_logo.cpp.o.d"
+  "bench_fig8_logo"
+  "bench_fig8_logo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_logo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

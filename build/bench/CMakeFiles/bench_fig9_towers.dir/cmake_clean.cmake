@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_towers.dir/bench_fig9_towers.cpp.o"
+  "CMakeFiles/bench_fig9_towers.dir/bench_fig9_towers.cpp.o.d"
+  "bench_fig9_towers"
+  "bench_fig9_towers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_towers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_speedup_minibatch.dir/bench_speedup_minibatch.cpp.o"
+  "CMakeFiles/bench_speedup_minibatch.dir/bench_speedup_minibatch.cpp.o.d"
+  "bench_speedup_minibatch"
+  "bench_speedup_minibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_speedup_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/list_bootstrap.dir/list_bootstrap.cpp.o"
+  "CMakeFiles/list_bootstrap.dir/list_bootstrap.cpp.o.d"
+  "list_bootstrap"
+  "list_bootstrap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/list_bootstrap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logo_dreams.dir/logo_dreams.cpp.o"
+  "CMakeFiles/logo_dreams.dir/logo_dreams.cpp.o.d"
+  "logo_dreams"
+  "logo_dreams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logo_dreams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

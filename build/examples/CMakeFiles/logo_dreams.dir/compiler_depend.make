@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for logo_dreams.
+# This may be replaced when dependencies are built.

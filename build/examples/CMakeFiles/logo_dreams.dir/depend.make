@@ -1,0 +1,2 @@
+# Empty dependencies file for logo_dreams.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_induction.dir/regex_induction.cpp.o"
+  "CMakeFiles/regex_induction.dir/regex_induction.cpp.o.d"
+  "regex_induction"
+  "regex_induction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_induction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

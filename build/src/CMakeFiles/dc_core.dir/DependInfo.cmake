@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/ContextualGrammar.cpp" "src/CMakeFiles/dc_core.dir/core/ContextualGrammar.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/ContextualGrammar.cpp.o.d"
+  "/root/repo/src/core/Enumeration.cpp" "src/CMakeFiles/dc_core.dir/core/Enumeration.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/Enumeration.cpp.o.d"
+  "/root/repo/src/core/Evaluator.cpp" "src/CMakeFiles/dc_core.dir/core/Evaluator.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/Evaluator.cpp.o.d"
+  "/root/repo/src/core/Grammar.cpp" "src/CMakeFiles/dc_core.dir/core/Grammar.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/Grammar.cpp.o.d"
+  "/root/repo/src/core/LikelihoodSummary.cpp" "src/CMakeFiles/dc_core.dir/core/LikelihoodSummary.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/LikelihoodSummary.cpp.o.d"
+  "/root/repo/src/core/Primitives.cpp" "src/CMakeFiles/dc_core.dir/core/Primitives.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/Primitives.cpp.o.d"
+  "/root/repo/src/core/Program.cpp" "src/CMakeFiles/dc_core.dir/core/Program.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/Program.cpp.o.d"
+  "/root/repo/src/core/ProgramParser.cpp" "src/CMakeFiles/dc_core.dir/core/ProgramParser.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/ProgramParser.cpp.o.d"
+  "/root/repo/src/core/Sampling.cpp" "src/CMakeFiles/dc_core.dir/core/Sampling.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/Sampling.cpp.o.d"
+  "/root/repo/src/core/Serialization.cpp" "src/CMakeFiles/dc_core.dir/core/Serialization.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/Serialization.cpp.o.d"
+  "/root/repo/src/core/Task.cpp" "src/CMakeFiles/dc_core.dir/core/Task.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/Task.cpp.o.d"
+  "/root/repo/src/core/Type.cpp" "src/CMakeFiles/dc_core.dir/core/Type.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/Type.cpp.o.d"
+  "/root/repo/src/core/Value.cpp" "src/CMakeFiles/dc_core.dir/core/Value.cpp.o" "gcc" "src/CMakeFiles/dc_core.dir/core/Value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_core.dir/core/ContextualGrammar.cpp.o"
+  "CMakeFiles/dc_core.dir/core/ContextualGrammar.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/Enumeration.cpp.o"
+  "CMakeFiles/dc_core.dir/core/Enumeration.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/Evaluator.cpp.o"
+  "CMakeFiles/dc_core.dir/core/Evaluator.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/Grammar.cpp.o"
+  "CMakeFiles/dc_core.dir/core/Grammar.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/LikelihoodSummary.cpp.o"
+  "CMakeFiles/dc_core.dir/core/LikelihoodSummary.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/Primitives.cpp.o"
+  "CMakeFiles/dc_core.dir/core/Primitives.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/Program.cpp.o"
+  "CMakeFiles/dc_core.dir/core/Program.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/ProgramParser.cpp.o"
+  "CMakeFiles/dc_core.dir/core/ProgramParser.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/Sampling.cpp.o"
+  "CMakeFiles/dc_core.dir/core/Sampling.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/Serialization.cpp.o"
+  "CMakeFiles/dc_core.dir/core/Serialization.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/Task.cpp.o"
+  "CMakeFiles/dc_core.dir/core/Task.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/Type.cpp.o"
+  "CMakeFiles/dc_core.dir/core/Type.cpp.o.d"
+  "CMakeFiles/dc_core.dir/core/Value.cpp.o"
+  "CMakeFiles/dc_core.dir/core/Value.cpp.o.d"
+  "libdc_core.a"
+  "libdc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/domains/ListDomain.cpp" "src/CMakeFiles/dc_domains.dir/domains/ListDomain.cpp.o" "gcc" "src/CMakeFiles/dc_domains.dir/domains/ListDomain.cpp.o.d"
+  "/root/repo/src/domains/LogoDomain.cpp" "src/CMakeFiles/dc_domains.dir/domains/LogoDomain.cpp.o" "gcc" "src/CMakeFiles/dc_domains.dir/domains/LogoDomain.cpp.o.d"
+  "/root/repo/src/domains/OrigamiDomain.cpp" "src/CMakeFiles/dc_domains.dir/domains/OrigamiDomain.cpp.o" "gcc" "src/CMakeFiles/dc_domains.dir/domains/OrigamiDomain.cpp.o.d"
+  "/root/repo/src/domains/PhysicsDomain.cpp" "src/CMakeFiles/dc_domains.dir/domains/PhysicsDomain.cpp.o" "gcc" "src/CMakeFiles/dc_domains.dir/domains/PhysicsDomain.cpp.o.d"
+  "/root/repo/src/domains/RegexDomain.cpp" "src/CMakeFiles/dc_domains.dir/domains/RegexDomain.cpp.o" "gcc" "src/CMakeFiles/dc_domains.dir/domains/RegexDomain.cpp.o.d"
+  "/root/repo/src/domains/RegressionDomain.cpp" "src/CMakeFiles/dc_domains.dir/domains/RegressionDomain.cpp.o" "gcc" "src/CMakeFiles/dc_domains.dir/domains/RegressionDomain.cpp.o.d"
+  "/root/repo/src/domains/TextDomain.cpp" "src/CMakeFiles/dc_domains.dir/domains/TextDomain.cpp.o" "gcc" "src/CMakeFiles/dc_domains.dir/domains/TextDomain.cpp.o.d"
+  "/root/repo/src/domains/TowerDomain.cpp" "src/CMakeFiles/dc_domains.dir/domains/TowerDomain.cpp.o" "gcc" "src/CMakeFiles/dc_domains.dir/domains/TowerDomain.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_recognition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_domains.dir/domains/ListDomain.cpp.o"
+  "CMakeFiles/dc_domains.dir/domains/ListDomain.cpp.o.d"
+  "CMakeFiles/dc_domains.dir/domains/LogoDomain.cpp.o"
+  "CMakeFiles/dc_domains.dir/domains/LogoDomain.cpp.o.d"
+  "CMakeFiles/dc_domains.dir/domains/OrigamiDomain.cpp.o"
+  "CMakeFiles/dc_domains.dir/domains/OrigamiDomain.cpp.o.d"
+  "CMakeFiles/dc_domains.dir/domains/PhysicsDomain.cpp.o"
+  "CMakeFiles/dc_domains.dir/domains/PhysicsDomain.cpp.o.d"
+  "CMakeFiles/dc_domains.dir/domains/RegexDomain.cpp.o"
+  "CMakeFiles/dc_domains.dir/domains/RegexDomain.cpp.o.d"
+  "CMakeFiles/dc_domains.dir/domains/RegressionDomain.cpp.o"
+  "CMakeFiles/dc_domains.dir/domains/RegressionDomain.cpp.o.d"
+  "CMakeFiles/dc_domains.dir/domains/TextDomain.cpp.o"
+  "CMakeFiles/dc_domains.dir/domains/TextDomain.cpp.o.d"
+  "CMakeFiles/dc_domains.dir/domains/TowerDomain.cpp.o"
+  "CMakeFiles/dc_domains.dir/domains/TowerDomain.cpp.o.d"
+  "libdc_domains.a"
+  "libdc_domains.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_domains.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/Layers.cpp" "src/CMakeFiles/dc_nn.dir/nn/Layers.cpp.o" "gcc" "src/CMakeFiles/dc_nn.dir/nn/Layers.cpp.o.d"
+  "/root/repo/src/nn/Optimizer.cpp" "src/CMakeFiles/dc_nn.dir/nn/Optimizer.cpp.o" "gcc" "src/CMakeFiles/dc_nn.dir/nn/Optimizer.cpp.o.d"
+  "/root/repo/src/nn/Tensor.cpp" "src/CMakeFiles/dc_nn.dir/nn/Tensor.cpp.o" "gcc" "src/CMakeFiles/dc_nn.dir/nn/Tensor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_nn.dir/nn/Layers.cpp.o"
+  "CMakeFiles/dc_nn.dir/nn/Layers.cpp.o.d"
+  "CMakeFiles/dc_nn.dir/nn/Optimizer.cpp.o"
+  "CMakeFiles/dc_nn.dir/nn/Optimizer.cpp.o.d"
+  "CMakeFiles/dc_nn.dir/nn/Tensor.cpp.o"
+  "CMakeFiles/dc_nn.dir/nn/Tensor.cpp.o.d"
+  "libdc_nn.a"
+  "libdc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

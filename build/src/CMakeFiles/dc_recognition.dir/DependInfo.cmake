@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/Featurizer.cpp" "src/CMakeFiles/dc_recognition.dir/core/Featurizer.cpp.o" "gcc" "src/CMakeFiles/dc_recognition.dir/core/Featurizer.cpp.o.d"
+  "/root/repo/src/core/Recognition.cpp" "src/CMakeFiles/dc_recognition.dir/core/Recognition.cpp.o" "gcc" "src/CMakeFiles/dc_recognition.dir/core/Recognition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_nn.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

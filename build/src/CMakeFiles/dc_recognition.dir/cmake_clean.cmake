@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_recognition.dir/core/Featurizer.cpp.o"
+  "CMakeFiles/dc_recognition.dir/core/Featurizer.cpp.o.d"
+  "CMakeFiles/dc_recognition.dir/core/Recognition.cpp.o"
+  "CMakeFiles/dc_recognition.dir/core/Recognition.cpp.o.d"
+  "libdc_recognition.a"
+  "libdc_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_vs.dir/vs/Compression.cpp.o"
+  "CMakeFiles/dc_vs.dir/vs/Compression.cpp.o.d"
+  "CMakeFiles/dc_vs.dir/vs/VersionSpace.cpp.o"
+  "CMakeFiles/dc_vs.dir/vs/VersionSpace.cpp.o.d"
+  "libdc_vs.a"
+  "libdc_vs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_vs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_wakesleep.dir/core/WakeSleep.cpp.o"
+  "CMakeFiles/dc_wakesleep.dir/core/WakeSleep.cpp.o.d"
+  "libdc_wakesleep.a"
+  "libdc_wakesleep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_wakesleep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/EnumerationTest.cpp" "tests/CMakeFiles/dc_tests.dir/core/EnumerationTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/core/EnumerationTest.cpp.o.d"
+  "/root/repo/tests/core/EvaluatorTest.cpp" "tests/CMakeFiles/dc_tests.dir/core/EvaluatorTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/core/EvaluatorTest.cpp.o.d"
+  "/root/repo/tests/core/GrammarTest.cpp" "tests/CMakeFiles/dc_tests.dir/core/GrammarTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/core/GrammarTest.cpp.o.d"
+  "/root/repo/tests/core/ProgramTest.cpp" "tests/CMakeFiles/dc_tests.dir/core/ProgramTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/core/ProgramTest.cpp.o.d"
+  "/root/repo/tests/core/PropertyTest.cpp" "tests/CMakeFiles/dc_tests.dir/core/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/core/PropertyTest.cpp.o.d"
+  "/root/repo/tests/core/RecognitionTest.cpp" "tests/CMakeFiles/dc_tests.dir/core/RecognitionTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/core/RecognitionTest.cpp.o.d"
+  "/root/repo/tests/core/SamplingTest.cpp" "tests/CMakeFiles/dc_tests.dir/core/SamplingTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/core/SamplingTest.cpp.o.d"
+  "/root/repo/tests/core/SerializationTest.cpp" "tests/CMakeFiles/dc_tests.dir/core/SerializationTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/core/SerializationTest.cpp.o.d"
+  "/root/repo/tests/core/TypeTest.cpp" "tests/CMakeFiles/dc_tests.dir/core/TypeTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/core/TypeTest.cpp.o.d"
+  "/root/repo/tests/core/WakeSleepTest.cpp" "tests/CMakeFiles/dc_tests.dir/core/WakeSleepTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/core/WakeSleepTest.cpp.o.d"
+  "/root/repo/tests/domains/DomainsTest.cpp" "tests/CMakeFiles/dc_tests.dir/domains/DomainsTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/domains/DomainsTest.cpp.o.d"
+  "/root/repo/tests/nn/NnTest.cpp" "tests/CMakeFiles/dc_tests.dir/nn/NnTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/nn/NnTest.cpp.o.d"
+  "/root/repo/tests/vs/CompressionTest.cpp" "tests/CMakeFiles/dc_tests.dir/vs/CompressionTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/vs/CompressionTest.cpp.o.d"
+  "/root/repo/tests/vs/VersionSpaceTest.cpp" "tests/CMakeFiles/dc_tests.dir/vs/VersionSpaceTest.cpp.o" "gcc" "tests/CMakeFiles/dc_tests.dir/vs/VersionSpaceTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dc_wakesleep.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_domains.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_recognition.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_vs.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/dc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_tests.dir/core/EnumerationTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/core/EnumerationTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/core/EvaluatorTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/core/EvaluatorTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/core/GrammarTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/core/GrammarTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/core/ProgramTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/core/ProgramTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/core/PropertyTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/core/PropertyTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/core/RecognitionTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/core/RecognitionTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/core/SamplingTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/core/SamplingTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/core/SerializationTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/core/SerializationTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/core/TypeTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/core/TypeTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/core/WakeSleepTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/core/WakeSleepTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/domains/DomainsTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/domains/DomainsTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/nn/NnTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/nn/NnTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/vs/CompressionTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/vs/CompressionTest.cpp.o.d"
+  "CMakeFiles/dc_tests.dir/vs/VersionSpaceTest.cpp.o"
+  "CMakeFiles/dc_tests.dir/vs/VersionSpaceTest.cpp.o.d"
+  "dc_tests"
+  "dc_tests.pdb"
+  "dc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dc_run.dir/dc_run.cpp.o"
+  "CMakeFiles/dc_run.dir/dc_run.cpp.o.d"
+  "dc_run"
+  "dc_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dc_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -15,11 +15,34 @@
 #ifndef DC_BENCH_BENCHUTIL_H
 #define DC_BENCH_BENCHUTIL_H
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 namespace dcbench {
+
+/// Worker-thread count for parallel bench sections, from the DC_THREADS
+/// environment variable (0 = one per hardware core, the default).
+inline int threadsFromEnv() {
+  const char *V = std::getenv("DC_THREADS");
+  return V ? std::atoi(V) : 0;
+}
+
+/// Wall-clock stopwatch for speedup comparisons.
+class WallTimer {
+public:
+  WallTimer() : Start(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
 
 inline void banner(const std::string &Title) {
   std::printf("\n==== %s ====\n", Title.c_str());

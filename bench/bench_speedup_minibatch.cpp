@@ -6,14 +6,66 @@
 // Here: total wake search effort (candidate expansions) needed to reach
 // the same cumulative train-solve level, batched vs full-corpus.
 //
+// A second section measures the wall-clock effect of the thread pool on
+// the same wake phase: identical frontiers, NumThreads=1 vs parallel.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/BenchUtil.h"
+#include "core/ThreadPool.h"
 #include "core/WakeSleep.h"
 #include "domains/ListDomain.h"
 
 using namespace dc;
 using namespace dcbench;
+
+namespace {
+
+std::string frontierFingerprint(const std::vector<Frontier> &Fs) {
+  std::string Sig;
+  for (const Frontier &F : Fs)
+    for (const FrontierEntry &E : F.entries())
+      Sig += E.Program->show() + ";";
+  return Sig;
+}
+
+void parallelWakeSection() {
+  banner("Parallel wake enumeration (thread pool)");
+  const int Threads = threadsFromEnv();
+  const unsigned Resolved = ThreadPool::resolveThreadCount(Threads);
+  DomainSpec D = makeListDomain(1);
+  D.Search.NodeBudget = 150000;
+
+  EnumerationParams Serial = D.Search;
+  Serial.NumThreads = 1;
+  WallTimer SerialTimer;
+  std::vector<Frontier> SerialFs =
+      solveTasks(Grammar::uniform(D.BasePrimitives), D.TrainTasks, Serial);
+  const double SerialSec = SerialTimer.seconds();
+
+  EnumerationParams Parallel = D.Search;
+  Parallel.NumThreads = Threads;
+  WallTimer ParallelTimer;
+  std::vector<Frontier> ParallelFs =
+      solveTasks(Grammar::uniform(D.BasePrimitives), D.TrainTasks, Parallel);
+  const double ParallelSec = ParallelTimer.seconds();
+
+  row("serial wake (1 thread)", SerialSec, "s");
+  row("parallel wake (" + std::to_string(Resolved) + " threads)",
+      ParallelSec, "s");
+  if (ParallelSec > 0)
+    row("speedup", SerialSec / ParallelSec, "x");
+  const bool Identical =
+      frontierFingerprint(SerialFs) == frontierFingerprint(ParallelFs);
+  note(Identical ? "frontiers identical across thread counts (determinism)"
+                 : "ERROR: frontiers differ across thread counts");
+  if (!Identical)
+    std::exit(1);
+  note("(set DC_THREADS to change the parallel thread count; 0 = one");
+  note(" per hardware core)");
+}
+
+} // namespace
 
 int main() {
   banner("Minibatched vs full-corpus waking (list domain)");
@@ -57,5 +109,7 @@ int main() {
         static_cast<double>(NodesFull) / NodesBatched, "x");
   note("(paper shape: batching reaches comparable solving with less");
   note(" search per unit of library-learning progress)");
+
+  parallelWakeSection();
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include "core/Enumeration.h"
 
+#include "core/ThreadPool.h"
+
 #include <algorithm>
 #include <limits>
 #include <map>
@@ -11,6 +13,11 @@ using namespace dc;
 namespace {
 
 constexpr double NegInf = -std::numeric_limits<double>::infinity();
+
+/// Candidate buffer size for parallel likelihood testing: big enough to
+/// amortize worker scheduling, small enough to bound memory while a
+/// window's enumeration is paused for testing.
+constexpr size_t TestBatchSize = 2048;
 
 /// Persistent typing environment: a stack-allocated linked list so that
 /// continuations capture the environment as of their creation point. A
@@ -115,6 +122,14 @@ void dc::enumerateWindow(const EnumerationSource &Src, const TypePtr &Request,
               });
 }
 
+void EnumerationStats::merge(const EnumerationStats &Other) {
+  NodesExpanded += Other.NodesExpanded;
+  ProgramsEnumerated += Other.ProgramsEnumerated;
+  BudgetReached = std::max(BudgetReached, Other.BudgetReached);
+  EffortToSolve.insert(EffortToSolve.end(), Other.EffortToSolve.begin(),
+                       Other.EffortToSolve.end());
+}
+
 Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
                        const EnumerationParams &Params,
                        EnumerationStats *Stats) {
@@ -125,19 +140,57 @@ Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
   int WindowsSinceSolved = -1;
   double Lower = 0;
   double Upper = Params.InitialBudget;
+  const bool Parallel =
+      ThreadPool::resolveThreadCount(Params.NumThreads) > 1;
+
+  // The per-candidate fold, shared by both paths: candidates arrive in
+  // enumeration order with their likelihood already computed, so the
+  // effort counter and the frontier evolve identically either way.
+  auto Fold = [&](ExprPtr P, double LogPrior, double LL) {
+    ++Seen;
+    if (LL == NegInf)
+      return;
+    if (F.empty() && EffortAtSolve < 0)
+      EffortAtSolve = Seen;
+    F.record({P, LogPrior, LL}, Params.FrontierSize);
+  };
 
   while (Lower < Params.MaxBudget && Nodes > 0) {
-    enumerateWindow(Src, T->request(), Lower, Upper, Nodes,
-                    [&](ExprPtr P, double LogPrior) {
-                      ++Seen;
-                      double LL = T->logLikelihood(P);
-                      if (LL == NegInf)
+    if (!Parallel) {
+      enumerateWindow(Src, T->request(), Lower, Upper, Nodes,
+                      [&](ExprPtr P, double LogPrior) {
+                        Fold(P, LogPrior, T->logLikelihood(P));
                         return true;
-                      if (F.empty() && EffortAtSolve < 0)
-                        EffortAtSolve = Seen;
-                      F.record({P, LogPrior, LL}, Params.FrontierSize);
-                      return true;
-                    });
+                      });
+    } else {
+      // Parallel candidate testing: enumeration itself stays serial (the
+      // node-budget accounting is what makes searches deterministic and
+      // is three orders of magnitude cheaper than running candidates),
+      // buffering batches whose evaluator calls fan out across workers.
+      // Results fold back in enumeration order — bit-identical to the
+      // serial path at any thread count.
+      std::vector<std::pair<ExprPtr, double>> Batch;
+      std::vector<double> LL;
+      auto Flush = [&] {
+        if (Batch.empty())
+          return;
+        LL.resize(Batch.size());
+        parallelFor(Params.NumThreads, Batch.size(), [&](size_t I) {
+          LL[I] = T->logLikelihood(Batch[I].first);
+        });
+        for (size_t I = 0; I < Batch.size(); ++I)
+          Fold(Batch[I].first, Batch[I].second, LL[I]);
+        Batch.clear();
+      };
+      enumerateWindow(Src, T->request(), Lower, Upper, Nodes,
+                      [&](ExprPtr P, double LogPrior) {
+                        Batch.emplace_back(P, LogPrior);
+                        if (Batch.size() >= TestBatchSize)
+                          Flush();
+                        return true;
+                      });
+      Flush();
+    }
     if (!F.empty()) {
       if (WindowsSinceSolved < 0)
         WindowsSinceSolved = 0;
@@ -169,13 +222,28 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
     Out.emplace_back(T);
 
   // Group tasks by request type so each distinct type is enumerated once.
+  // The map's sorted iteration fixes the group order once; everything
+  // below is indexed, never appended, by worker threads.
   std::map<std::string, std::vector<size_t>> Groups;
   for (size_t I = 0; I < Tasks.size(); ++I)
     Groups[canonicalize(Tasks[I]->request())->show()].push_back(I);
-
-  std::vector<long> Efforts(Tasks.size(), -1);
+  std::vector<std::vector<size_t>> GroupIndices;
+  GroupIndices.reserve(Groups.size());
   for (auto &[TypeKey, Indices] : Groups) {
     (void)TypeKey;
+    GroupIndices.push_back(std::move(Indices));
+  }
+
+  std::vector<long> Efforts(Tasks.size(), -1);
+  std::vector<EnumerationStats> GroupStats(GroupIndices.size());
+  const bool Parallel =
+      ThreadPool::resolveThreadCount(Params.NumThreads) > 1;
+
+  // One request-type group: its own node budget, its own effort counter.
+  // Workers only ever touch the frontier/effort slots of their group's
+  // task indices, which are disjoint across groups.
+  auto SolveGroup = [&](size_t GI) {
+    const std::vector<size_t> &Indices = GroupIndices[GI];
     const TypePtr &Request = Tasks[Indices.front()]->request();
     long Nodes = Params.NodeBudget;
     long Seen = 0;
@@ -183,21 +251,58 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
     double Upper = Params.InitialBudget;
     int WindowsSinceAllSolved = -1;
 
+    // Folds one candidate (with its per-task likelihood row) into the
+    // group's frontiers, in enumeration order.
+    auto Fold = [&](ExprPtr P, double LogPrior, const double *Row) {
+      ++Seen;
+      for (size_t K = 0; K < Indices.size(); ++K) {
+        size_t I = Indices[K];
+        if (Row[K] == NegInf)
+          continue;
+        if (Out[I].empty() && Efforts[I] < 0)
+          Efforts[I] = Seen;
+        Out[I].record({P, LogPrior, Row[K]}, Params.FrontierSize);
+      }
+    };
+
+    std::vector<double> Row(Indices.size());
     while (Lower < Params.MaxBudget && Nodes > 0) {
-      enumerateWindow(G, Request, Lower, Upper, Nodes,
-                      [&](ExprPtr P, double LogPrior) {
-                        ++Seen;
-                        for (size_t I : Indices) {
-                          double LL = Tasks[I]->logLikelihood(P);
-                          if (LL == NegInf)
-                            continue;
-                          if (Out[I].empty() && Efforts[I] < 0)
-                            Efforts[I] = Seen;
-                          Out[I].record({P, LogPrior, LL},
-                                        Params.FrontierSize);
-                        }
-                        return true;
-                      });
+      if (!Parallel) {
+        enumerateWindow(G, Request, Lower, Upper, Nodes,
+                        [&](ExprPtr P, double LogPrior) {
+                          for (size_t K = 0; K < Indices.size(); ++K)
+                            Row[K] = Tasks[Indices[K]]->logLikelihood(P);
+                          Fold(P, LogPrior, Row.data());
+                          return true;
+                        });
+      } else {
+        // Shared-grammar analog of solveTask's parallel testing: buffer
+        // candidates, fan the (candidate x task) evaluator calls across
+        // workers, fold in enumeration order.
+        const size_t NT = Indices.size();
+        std::vector<std::pair<ExprPtr, double>> Batch;
+        std::vector<double> LL;
+        auto Flush = [&] {
+          if (Batch.empty())
+            return;
+          LL.resize(Batch.size() * NT);
+          parallelFor(Params.NumThreads, Batch.size() * NT, [&](size_t J) {
+            LL[J] = Tasks[Indices[J % NT]]->logLikelihood(
+                Batch[J / NT].first);
+          });
+          for (size_t B = 0; B < Batch.size(); ++B)
+            Fold(Batch[B].first, Batch[B].second, &LL[B * NT]);
+          Batch.clear();
+        };
+        enumerateWindow(G, Request, Lower, Upper, Nodes,
+                        [&](ExprPtr P, double LogPrior) {
+                          Batch.emplace_back(P, LogPrior);
+                          if (Batch.size() >= TestBatchSize)
+                            Flush();
+                          return true;
+                        });
+        Flush();
+      }
       bool AllSolved = true;
       for (size_t I : Indices)
         AllSolved = AllSolved && !Out[I].empty();
@@ -213,14 +318,26 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
       Upper += Params.BudgetStep;
     }
 
-    if (Stats) {
-      Stats->NodesExpanded += Params.NodeBudget - Nodes;
-      Stats->ProgramsEnumerated += Seen;
-      Stats->BudgetReached = std::max(Stats->BudgetReached, Upper);
+    GroupStats[GI].NodesExpanded = Params.NodeBudget - Nodes;
+    GroupStats[GI].ProgramsEnumerated = Seen;
+    GroupStats[GI].BudgetReached = Upper;
+  };
+
+  // Distinct request types search independently in parallel; the group
+  // bodies nest further candidate-testing parallelism inside.
+  parallelFor(Params.NumThreads, GroupIndices.size(), SolveGroup);
+
+  if (Stats) {
+    // Merge in fixed group order, then append efforts in task order —
+    // worker completion order never leaks into the aggregate (the
+    // EffortToSolve/Tasks alignment regression in EnumerationTest).
+    for (const EnumerationStats &GS : GroupStats) {
+      Stats->NodesExpanded += GS.NodesExpanded;
+      Stats->ProgramsEnumerated += GS.ProgramsEnumerated;
+      Stats->BudgetReached = std::max(Stats->BudgetReached, GS.BudgetReached);
     }
-  }
-  if (Stats)
     for (long E : Efforts)
       Stats->EffortToSolve.push_back(E);
+  }
   return Out;
 }

@@ -37,6 +37,13 @@ struct EnumerationParams {
   /// After the first window that solves the task, search this many more
   /// windows to diversify the beam before stopping.
   int ExtraWindowsAfterSolution = 0;
+  /// Worker threads for the wake phase (the paper parallelizes search
+  /// across 20-64 CPUs): 0 = one per hardware core, 1 = the exact
+  /// single-threaded legacy path, N = at most N threads. Budget
+  /// accounting stays per-task/per-group and results are merged in task
+  /// order, so frontiers and stats are bit-identical at every setting
+  /// (DESIGN.md, threading model).
+  int NumThreads = 1;
 };
 
 /// Cumulative effort statistics for one search.
@@ -47,6 +54,13 @@ struct EnumerationStats {
   /// Programs enumerated before each task's first solution (search-effort
   /// analog of the paper's solve times; -1 when unsolved).
   std::vector<long> EffortToSolve;
+
+  /// Folds \p Other into this: counters add, BudgetReached maxes, and
+  /// Other's EffortToSolve entries append in order. Parallel solvers keep
+  /// one local EnumerationStats per task (or group) and merge them in
+  /// task order after every worker has finished, so EffortToSolve stays
+  /// aligned with the task list no matter which worker completed first.
+  void merge(const EnumerationStats &Other);
 };
 
 /// Enumerates every program of type \p Request whose description length

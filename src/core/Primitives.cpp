@@ -3,13 +3,20 @@
 #include "core/Primitives.h"
 
 #include <cmath>
+#include <mutex>
+#include <shared_mutex>
 #include <unordered_map>
 
 using namespace dc;
 
 namespace {
 
+/// Process-wide primitive registry. Lookups run on every primitive
+/// evaluation — including from wake-phase worker threads — while
+/// registration happens only during (serial) domain construction, so a
+/// reader/writer lock keeps the common path to a shared acquire.
 struct Registry {
+  std::shared_mutex Mutex;
   std::unordered_map<std::string, ValuePtr> Values;
   std::unordered_map<std::string, ExprPtr> Exprs;
 
@@ -22,6 +29,7 @@ struct Registry {
 ExprPtr registerEntry(const std::string &Name, const TypePtr &Ty,
                       ValuePtr Val) {
   Registry &R = Registry::get();
+  std::unique_lock<std::shared_mutex> Lock(R.Mutex);
   auto It = R.Exprs.find(Name);
   if (It != R.Exprs.end())
     return It->second; // idempotent re-registration
@@ -81,12 +89,14 @@ ExprPtr dc::definePrimitive(const std::string &Name, const TypePtr &Ty,
 
 ValuePtr dc::primitiveValue(const std::string &Name) {
   Registry &R = Registry::get();
+  std::shared_lock<std::shared_mutex> Lock(R.Mutex);
   auto It = R.Values.find(Name);
   return It == R.Values.end() ? nullptr : It->second;
 }
 
 ExprPtr dc::lookupPrimitive(const std::string &Name) {
   Registry &R = Registry::get();
+  std::shared_lock<std::shared_mutex> Lock(R.Mutex);
   auto It = R.Exprs.find(Name);
   return It == R.Exprs.end() ? nullptr : It->second;
 }

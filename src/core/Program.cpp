@@ -3,6 +3,7 @@
 #include "core/Program.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -44,6 +45,13 @@ struct ExprKeyHash {
 /// Global arena owning every Expr ever created. Programs live for the whole
 /// process; that is the standard hash-consing trade-off and it keeps
 /// ExprPtr trivially copyable.
+///
+/// The intern table is sharded by key hash, each shard behind its own
+/// mutex: parallel wake-phase enumeration interns nodes from many worker
+/// threads at once, and a single table lock would serialize the hottest
+/// allocation path in the system. Nodes are immutable after construction
+/// and published under the shard lock, so readers on other threads always
+/// observe fully-built nodes.
 class ExprArenaImpl {
 public:
   static ExprArenaImpl &get() {
@@ -54,7 +62,12 @@ public:
   ExprPtr intern(ExprKey Key, const TypePtr &DeclType);
 
 private:
-  std::unordered_map<ExprKey, ExprPtr, ExprKeyHash> Interned;
+  static constexpr size_t NumShards = 64;
+  struct Shard {
+    std::mutex Mutex;
+    std::unordered_map<ExprKey, ExprPtr, ExprKeyHash> Interned;
+  };
+  Shard Shards[NumShards];
 };
 
 } // namespace
@@ -85,13 +98,15 @@ public:
 namespace {
 
 ExprPtr ExprArenaImpl::intern(ExprKey Key, const TypePtr &DeclType) {
-  auto It = Interned.find(Key);
-  if (It != Interned.end())
+  size_t Hash = ExprKeyHash()(Key);
+  Shard &S = Shards[Hash % NumShards];
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Interned.find(Key);
+  if (It != S.Interned.end())
     return It->second;
-  ExprPtr Node =
-      dc::ExprArena::create(Key.Kind, Key.Index, Key.Name, DeclType, Key.A,
-                            Key.B, ExprKeyHash()(Key));
-  Interned.emplace(std::move(Key), Node);
+  ExprPtr Node = dc::ExprArena::create(Key.Kind, Key.Index, Key.Name,
+                                       DeclType, Key.A, Key.B, Hash);
+  S.Interned.emplace(std::move(Key), Node);
   return Node;
 }
 

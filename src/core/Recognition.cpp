@@ -140,7 +140,7 @@ void RecognitionModel::train(const std::vector<Frontier> &Replays,
   // Fantasies: dreams from the generative model.
   std::vector<Fantasy> Dreams =
       sampleFantasies(Base, ReplayTasks, Params.FantasyCount, Rng,
-                      Params.MapObjective, Hook);
+                      Params.MapObjective, Hook, Params.NumThreads);
   for (Fantasy &D : Dreams)
     Pairs.push_back(std::move(D));
 

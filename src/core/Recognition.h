@@ -44,6 +44,11 @@ struct RecognitionParams {
   bool MapObjective = true;     ///< L^MAP vs L^post
   float LogitClamp = 6.0f;      ///< predicted weights live in ±clamp
   unsigned Seed = 0;
+  /// Worker threads for fantasy sampling (0 = per-core, 1 = serial,
+  /// N = at most N). The fantasy set is identical at every setting;
+  /// gradient steps themselves stay single-threaded (the MLP caches
+  /// activations in forward()).
+  int NumThreads = 1;
 };
 
 /// The neural search policy: predicts task-conditioned grammar weights.

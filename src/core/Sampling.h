@@ -50,12 +50,18 @@ TaskPtr defaultFantasyTask(ExprPtr Program, const TaskPtr &Seed,
 /// fantasies whose tasks have identical observations are collapsed to the
 /// single highest-prior program (the L^MAP target construction of paper
 /// Algorithm 3); otherwise every sampled program is kept (L^post).
+///
+/// Each attempt runs under its own RNG derived from one draw of \p Rng and
+/// the attempt index, and attempts fold into the result strictly in index
+/// order, so the fantasies are identical for every \p NumThreads setting
+/// (0 = one thread per hardware core, 1 = single-threaded, N = at most N).
 std::vector<Fantasy> sampleFantasies(const Grammar &G,
                                      const std::vector<TaskPtr> &Seeds,
                                      int Count, std::mt19937 &Rng,
                                      bool MapVariant = true,
                                      const FantasyHook &Hook =
-                                         defaultFantasyTask);
+                                         defaultFantasyTask,
+                                     int NumThreads = 1);
 
 } // namespace dc
 

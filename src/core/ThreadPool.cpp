@@ -1,0 +1,166 @@
+//===- core/ThreadPool.cpp - Reusable worker pool for wake-phase search ---===//
+
+#include "core/ThreadPool.h"
+
+#include <algorithm>
+#include <memory>
+
+using namespace dc;
+
+ThreadPool::ThreadPool(unsigned WorkerCount) {
+  Workers.reserve(std::max(1u, WorkerCount));
+  for (unsigned I = 0; I < std::max(1u, WorkerCount); ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  QueueCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Job) {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Queue.push_back(std::move(Job));
+  }
+  QueueCv.notify_one();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Job;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCv.wait(Lock, [&] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // shutting down and drained
+      Job = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    Job();
+  }
+}
+
+ThreadPool &ThreadPool::shared() {
+  static ThreadPool *Pool =
+      new ThreadPool(std::max(1u, std::thread::hardware_concurrency()));
+  return *Pool;
+}
+
+unsigned ThreadPool::resolveThreadCount(int NumThreads) {
+  if (NumThreads <= 0)
+    return std::max(1u, std::thread::hardware_concurrency());
+  return static_cast<unsigned>(NumThreads);
+}
+
+namespace {
+
+/// State of one parallelFor region. Owned by shared_ptr so that helper
+/// jobs still sitting in the pool queue after the region has ended (all
+/// indices already drained by faster threads) can run harmlessly against
+/// live memory: they claim nothing and exit.
+struct ForState {
+  std::function<void(size_t)> Body;
+  size_t Count = 0;
+  std::atomic<size_t> Next{0};
+  std::atomic<bool> Aborted{false};
+  std::mutex Mutex;
+  std::condition_variable Idle;
+  int Active = 0; ///< helpers currently inside run()
+  std::exception_ptr Error;
+
+  /// Drains indices until the range is exhausted or the region aborts.
+  /// Only the *calling* thread passes its CancellationToken: helpers
+  /// observe cancellation through the state-owned Aborted flag instead,
+  /// so a helper scheduled after parallelFor returned can never touch
+  /// the caller-owned token (or the Body captures) — by the time the
+  /// caller returns, either every index is claimed or Aborted is set,
+  /// and both are checked before Body runs.
+  void run(CancellationToken *Token) {
+    for (;;) {
+      if (Aborted.load(std::memory_order_relaxed))
+        return;
+      if (Token && Token->cancelled()) {
+        // Convert external cancellation into region state so helpers
+        // (which never dereference the token) stop claiming work too.
+        Aborted.store(true, std::memory_order_relaxed);
+        return;
+      }
+      size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Count)
+        return;
+      if (Aborted.load(std::memory_order_relaxed))
+        return;
+      try {
+        Body(I);
+      } catch (...) {
+        std::lock_guard<std::mutex> Lock(Mutex);
+        if (!Error)
+          Error = std::current_exception();
+        Aborted.store(true, std::memory_order_relaxed);
+      }
+    }
+  }
+};
+
+} // namespace
+
+void dc::parallelFor(int NumThreads, size_t Count,
+                     const std::function<void(size_t)> &Body,
+                     CancellationToken *Token) {
+  unsigned Threads = ThreadPool::resolveThreadCount(NumThreads);
+  // A token cancelled before the region starts runs zero bodies — checked
+  // here, before helpers are enqueued, so no helper can claim an index
+  // ahead of the caller noticing the cancellation.
+  if (Token && Token->cancelled())
+    return;
+  if (Threads <= 1 || Count <= 1) {
+    for (size_t I = 0; I < Count; ++I) {
+      if (Token && Token->cancelled())
+        return;
+      Body(I);
+    }
+    return;
+  }
+
+  auto State = std::make_shared<ForState>();
+  State->Body = Body;
+  State->Count = Count;
+
+  ThreadPool &Pool = ThreadPool::shared();
+  size_t Helpers = std::min({static_cast<size_t>(Threads) - 1,
+                             static_cast<size_t>(Pool.workerCount()),
+                             Count - 1});
+  for (size_t H = 0; H < Helpers; ++H)
+    Pool.submit([State] {
+      {
+        std::lock_guard<std::mutex> Lock(State->Mutex);
+        ++State->Active;
+      }
+      State->run(nullptr);
+      {
+        std::lock_guard<std::mutex> Lock(State->Mutex);
+        --State->Active;
+      }
+      State->Idle.notify_all();
+    });
+
+  // The caller participates: this is what makes nested regions safe. Even
+  // if every pool worker is occupied by outer regions, the innermost
+  // caller drains its whole index range here and never blocks on the pool.
+  State->run(Token);
+
+  // The caller's run() only returns once every index is claimed (or the
+  // region aborted), so waiting for started helpers to finish is all that
+  // is needed before stack-captured state in Body may die. Helpers that
+  // never started will find no work and exit against State they co-own.
+  std::unique_lock<std::mutex> Lock(State->Mutex);
+  State->Idle.wait(Lock, [&] { return State->Active == 0; });
+  if (State->Error)
+    std::rethrow_exception(State->Error);
+}

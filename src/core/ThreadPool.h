@@ -1,0 +1,107 @@
+//===- core/ThreadPool.h - Reusable worker pool for wake-phase search -----===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed pool of worker threads shared by every parallel phase of the
+/// system: wake-phase enumeration fans candidate testing and per-task /
+/// per-request-type searches across it, and dream-phase fantasy sampling
+/// fans per-fantasy program execution. The paper runs its searches
+/// "parallelized across 20-64 CPUs"; this is the single-machine analog.
+///
+/// Design constraints (see DESIGN.md, threading model):
+///   * The pool is process-wide and reusable — threads are created once,
+///     not per search phase.
+///   * parallelFor() has the *caller participate* in the work, so nested
+///     parallel regions can never deadlock even when every pool worker is
+///     busy: the innermost caller drains its own index range itself.
+///   * Worker scheduling must never affect results. parallelFor() only
+///     distributes independent index ranges; all merging of results is the
+///     caller's responsibility and is done in deterministic order.
+///   * Exceptions thrown by a parallelFor() body are captured and the
+///     first one is rethrown on the calling thread after the region ends.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_CORE_THREADPOOL_H
+#define DC_CORE_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dc {
+
+/// Cooperative cancellation flag shared between a controller and the
+/// workers of a parallel region: workers stop claiming new work once the
+/// token is cancelled (work already started runs to completion).
+class CancellationToken {
+public:
+  void cancel() { Flag.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Flag.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<bool> Flag{false};
+};
+
+/// A fixed set of worker threads draining a shared FIFO work queue.
+/// Submitted jobs must not throw (parallelFor wraps its bodies and
+/// provides exception propagation on top of this primitive).
+class ThreadPool {
+public:
+  explicit ThreadPool(unsigned WorkerCount);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  unsigned workerCount() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// Enqueues \p Job for execution by some worker.
+  void submit(std::function<void()> Job);
+
+  /// The process-wide pool, lazily constructed with one worker per
+  /// hardware thread. Never destroyed (same idiom as the Expr arena):
+  /// tearing down worker threads during static destruction is UB-prone
+  /// and the pool must outlive every translation unit that might enqueue.
+  static ThreadPool &shared();
+
+  /// Maps an EnumerationParams-style thread-count knob to an actual
+  /// worker count: 0 (or negative) = one per hardware core, otherwise N.
+  static unsigned resolveThreadCount(int NumThreads);
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Queue;
+  std::mutex QueueMutex;
+  std::condition_variable QueueCv;
+  bool ShuttingDown = false;
+};
+
+/// Runs \p Body(I) for every I in [0, Count), distributing indices across
+/// at most \p NumThreads threads (the caller plus helpers from the shared
+/// pool). NumThreads follows the EnumerationParams convention: 0 = one per
+/// hardware core, 1 = run everything inline on the calling thread.
+///
+/// Indices are claimed dynamically, so bodies may execute in any order and
+/// on any thread — callers must only write to disjoint, index-addressed
+/// slots and merge sequentially afterwards. If \p Token is provided and
+/// cancelled, no further indices are claimed. If a body throws, the region
+/// stops claiming indices and the first exception is rethrown here once
+/// every started body has finished.
+void parallelFor(int NumThreads, size_t Count,
+                 const std::function<void(size_t)> &Body,
+                 CancellationToken *Token = nullptr);
+
+} // namespace dc
+
+#endif // DC_CORE_THREADPOOL_H

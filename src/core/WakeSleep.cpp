@@ -3,6 +3,7 @@
 #include "core/WakeSleep.h"
 
 #include "core/LikelihoodSummary.h"
+#include "core/ThreadPool.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -92,23 +93,39 @@ std::vector<Frontier> hybridSolve(const Grammar &G,
                                   EnumerationStats *Stats) {
   EnumerationParams Half = Search;
   Half.NodeBudget = std::max<long>(1, Search.NodeBudget / 2);
+  const size_t N = Tasks.size();
+
+  // Predictions stay on this thread: the MLP caches layer activations
+  // inside forward(), so one net must never serve two threads at once.
+  std::vector<ContextualGrammar> Guides;
+  Guides.reserve(N);
+  for (const TaskPtr &T : Tasks)
+    Guides.push_back(Model.predict(*T));
+
+  // Guided searches are independent per task; each worker writes only
+  // its own Out/Locals/GuidedEffort slot, and stats are merged in task
+  // order below so worker completion order never shows.
   std::vector<Frontier> Out;
-  Out.reserve(Tasks.size());
+  Out.reserve(N);
+  for (const TaskPtr &T : Tasks)
+    Out.emplace_back(T);
+  std::vector<EnumerationStats> Locals(N);
+  std::vector<long> GuidedEffort(N, -1);
+  parallelFor(Search.NumThreads, N, [&](size_t I) {
+    Out[I] = solveTask(Guides[I], Tasks[I], Half, &Locals[I]);
+    GuidedEffort[I] = Locals[I].EffortToSolve.empty()
+                          ? -1
+                          : Locals[I].EffortToSolve.front();
+  });
+
   std::vector<TaskPtr> Unsolved;
   std::vector<size_t> UnsolvedIdx;
-  std::vector<long> GuidedEffort;
-  for (size_t I = 0; I < Tasks.size(); ++I) {
-    ContextualGrammar CG = Model.predict(*Tasks[I]);
-    EnumerationStats Local;
-    Out.push_back(solveTask(CG, Tasks[I], Half, &Local));
-    GuidedEffort.push_back(Local.EffortToSolve.empty()
-                               ? -1
-                               : Local.EffortToSolve.front());
+  for (size_t I = 0; I < N; ++I) {
     if (Stats) {
-      Stats->NodesExpanded += Local.NodesExpanded;
-      Stats->ProgramsEnumerated += Local.ProgramsEnumerated;
+      Stats->NodesExpanded += Locals[I].NodesExpanded;
+      Stats->ProgramsEnumerated += Locals[I].ProgramsEnumerated;
     }
-    if (Out.back().empty()) {
+    if (Out[I].empty()) {
       Unsolved.push_back(Tasks[I]);
       UnsolvedIdx.push_back(I);
     }
@@ -164,6 +181,8 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
 
   std::mt19937 Rng(Config.Seed);
   std::unique_ptr<RecognitionModel> Model;
+  EnumerationParams Search = Domain.Search;
+  Search.NumThreads = Config.NumThreads;
 
   for (int Cycle = 0; Cycle < Config.Iterations; ++Cycle) {
     CycleMetrics Metrics;
@@ -186,8 +205,7 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
         Tasks.push_back(Domain.TrainTasks[I]);
       EnumerationStats Stats;
       std::vector<Frontier> Fs =
-          hybridSolve(Result.FinalGrammar, *Model, Tasks, Domain.Search,
-                      &Stats);
+          hybridSolve(Result.FinalGrammar, *Model, Tasks, Search, &Stats);
       Metrics.WakeNodesExpanded += Stats.NodesExpanded;
       Metrics.SolveEffort = Stats.EffortToSolve;
       for (size_t B = 0; B < Batch.size(); ++B)
@@ -206,7 +224,7 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
         Tasks.push_back(Domain.TrainTasks[I]);
       EnumerationStats Stats;
       std::vector<Frontier> Fs =
-          solveTasks(Result.FinalGrammar, Tasks, Domain.Search, &Stats);
+          solveTasks(Result.FinalGrammar, Tasks, Search, &Stats);
       Metrics.WakeNodesExpanded += Stats.NodesExpanded;
       Metrics.SolveEffort = Stats.EffortToSolve;
       for (size_t B = 0; B < Batch.size(); ++B)
@@ -251,6 +269,7 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
     if (usesRecognition(Config.Variant)) {
       RecognitionParams RP = Config.Recog;
       RP.Seed = Config.Seed + 77 * Cycle + 1;
+      RP.NumThreads = Config.NumThreads;
       if (Config.Variant == SystemVariant::Ec2) {
         RP.Bigram = false;       // EC2 uses a unigram parameterization
         RP.MapObjective = false; // ... trained on the full posterior
@@ -272,7 +291,7 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
           evaluateTasks(Result.FinalGrammar,
                         usesRecognition(Config.Variant) ? Model.get()
                                                         : nullptr,
-                        Domain.TestTasks, Domain.Search);
+                        Domain.TestTasks, Search);
       Metrics.TestSolved = Solved;
       if (LastCycle) {
         Result.FinalTestSolved = Solved;

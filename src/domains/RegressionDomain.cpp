@@ -128,11 +128,16 @@ double RegressionTask::logLikelihood(ExprPtr Program) const {
   if (N > 4)
     return -std::numeric_limits<double>::infinity();
   double Mse;
-  if (N == 0) {
+  std::vector<double> Fitted;
+  if (N == 0)
     Mse = mse(Program, {}, Points);
-    LastConstants.clear();
-  } else {
-    Mse = fitConstants(Program, N, Points, LastConstants);
+  else
+    Mse = fitConstants(Program, N, Points, Fitted);
+  {
+    // Fit into a local first: concurrent wake-phase workers may score this
+    // task at the same time, and the lock covers only the store.
+    std::lock_guard<std::mutex> Lock(ConstantsMutex);
+    LastConstants = std::move(Fitted);
   }
   // Tight numerical fit, as in the paper's tolerance-based likelihood.
   return std::isfinite(Mse) && Mse < 1e-3

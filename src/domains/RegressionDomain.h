@@ -18,6 +18,8 @@
 
 #include "domains/Domain.h"
 
+#include <mutex>
+
 namespace dc {
 
 /// Counts REAL placeholders in \p Program (descending into inventions).
@@ -35,11 +37,18 @@ public:
                                        Points);
   double logLikelihood(ExprPtr Program) const override;
 
-  /// The fit residual and constants of the last successful likelihood call
-  /// (diagnostics; single-threaded by design).
-  mutable std::vector<double> LastConstants;
+  /// The constants fit by the most recent likelihood call (diagnostics).
+  /// Wake-phase workers may score the same task concurrently, so reads
+  /// should go through lastConstants(); "most recent" is then whichever
+  /// worker's store landed last — the likelihood itself is unaffected.
+  std::vector<double> lastConstants() const {
+    std::lock_guard<std::mutex> Lock(ConstantsMutex);
+    return LastConstants;
+  }
 
 private:
+  mutable std::mutex ConstantsMutex;
+  mutable std::vector<double> LastConstants;
   std::vector<std::pair<double, double>> Points;
 };
 

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <set>
 
 using namespace dc;
@@ -239,4 +240,154 @@ TEST_F(EnumerationTest, BigramGuidanceFindsSolutionFaster) {
   ASSERT_FALSE(Guided.EffortToSolve.empty());
   if (Neutral.EffortToSolve[0] > 0 && Guided.EffortToSolve[0] > 0)
     EXPECT_LE(Guided.EffortToSolve[0], Neutral.EffortToSolve[0]);
+}
+
+namespace {
+
+/// Everything observable about a search result, as a comparable string:
+/// frontier programs with scores (in order) plus the full stats block.
+std::string searchFingerprint(const std::vector<Frontier> &Fs,
+                              const EnumerationStats &Stats) {
+  std::string Sig;
+  for (const Frontier &F : Fs) {
+    Sig += "[";
+    for (const FrontierEntry &E : F.entries()) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "|%.12g|%.12g;", E.LogPrior,
+                    E.LogLikelihood);
+      Sig += E.Program->show() + Buf;
+    }
+    Sig += "]";
+  }
+  char Buf[128];
+  std::snprintf(Buf, sizeof(Buf), " nodes=%ld progs=%ld budget=%.12g",
+                Stats.NodesExpanded, Stats.ProgramsEnumerated,
+                Stats.BudgetReached);
+  Sig += Buf;
+  for (long E : Stats.EffortToSolve)
+    Sig += " " + std::to_string(E);
+  return Sig;
+}
+
+} // namespace
+
+TEST_F(EnumerationTest, SolveTasksIdenticalAcrossThreadCounts) {
+  // The tentpole determinism guarantee: frontiers AND stats from the
+  // parallel wake phase are bit-identical to the serial path at any
+  // thread count (list-domain fixture, single shared request type).
+  std::vector<TaskPtr> Tasks = {
+      listTask("identity", [](const std::vector<long> &In) { return In; }),
+      listTask("increment-each",
+               [](const std::vector<long> &In) {
+                 std::vector<long> Out;
+                 for (long V : In)
+                   Out.push_back(V + 1);
+                 return Out;
+               }),
+      listTask("double",
+               [](const std::vector<long> &In) {
+                 std::vector<long> Out;
+                 for (long V : In)
+                   Out.push_back(2 * V);
+                 return Out;
+               }),
+  };
+  Grammar Focused = focusedGrammar();
+  EnumerationParams Params;
+  Params.MaxBudget = 14;
+  Params.NodeBudget = 500000;
+
+  std::string Baseline;
+  for (int Threads : {1, 2, 8}) {
+    Params.NumThreads = Threads;
+    EnumerationStats Stats;
+    auto Fs = solveTasks(Focused, Tasks, Params, &Stats);
+    ASSERT_EQ(Stats.EffortToSolve.size(), Tasks.size());
+    std::string Sig = searchFingerprint(Fs, Stats);
+    if (Threads == 1)
+      Baseline = Sig;
+    else
+      EXPECT_EQ(Sig, Baseline) << "NumThreads=" << Threads
+                               << " diverged from the serial path";
+  }
+  EXPECT_FALSE(Baseline.empty());
+}
+
+TEST_F(EnumerationTest, SolveTaskIdenticalAcrossThreadCounts) {
+  TaskPtr T = listTask("double", [](const std::vector<long> &In) {
+    std::vector<long> Out;
+    for (long V : In)
+      Out.push_back(2 * V);
+    return Out;
+  });
+  Grammar Focused = focusedGrammar();
+  EnumerationParams Params;
+  Params.MaxBudget = 16;
+  Params.NodeBudget = 2000000;
+  Params.ExtraWindowsAfterSolution = 1;
+
+  std::string Baseline;
+  for (int Threads : {1, 2, 8}) {
+    Params.NumThreads = Threads;
+    EnumerationStats Stats;
+    Frontier F = solveTask(Focused, T, Params, &Stats);
+    ASSERT_FALSE(F.empty());
+    std::string Sig = searchFingerprint({F}, Stats);
+    if (Threads == 1)
+      Baseline = Sig;
+    else
+      EXPECT_EQ(Sig, Baseline) << "NumThreads=" << Threads;
+  }
+}
+
+TEST_F(EnumerationTest, EffortStaysAlignedWithTaskOrder) {
+  // Mixed request types force multiple groups, which the parallel solver
+  // may finish in any order; one unsolvable task pins a -1 to a known
+  // index. EffortToSolve must line up with the Tasks vector regardless of
+  // worker completion order (the aggregation regression this PR fixes).
+  std::vector<Example> IntEx;
+  for (long V : {1L, 4L, 9L})
+    IntEx.push_back({{Value::makeInt(V)}, Value::makeInt(V + 1)});
+  auto IncInt = std::make_shared<Task>(
+      "inc-int", Type::arrow(tInt(), tInt()), IntEx);
+
+  std::vector<Example> BadEx = {
+      {{Value::makeList({Value::makeInt(1)})},
+       Value::makeList({Value::makeInt(77), Value::makeInt(-3)})},
+      {{Value::makeList({Value::makeInt(2)})},
+       Value::makeList({Value::makeInt(12), Value::makeInt(99)})},
+  };
+  auto Impossible = std::make_shared<Task>(
+      "impossible", Type::arrow(tList(tInt()), tList(tInt())), BadEx);
+
+  std::vector<TaskPtr> Tasks = {
+      listTask("identity", [](const std::vector<long> &In) { return In; }),
+      IncInt,
+      Impossible,
+  };
+  Grammar Focused = focusedGrammar();
+  EnumerationParams Params;
+  Params.MaxBudget = 10.0;
+  Params.NodeBudget = 200000;
+
+  std::vector<long> Baseline;
+  for (int Threads : {1, 2, 8}) {
+    Params.NumThreads = Threads;
+    EnumerationStats Stats;
+    auto Fs = solveTasks(Focused, Tasks, Params, &Stats);
+    ASSERT_EQ(Fs.size(), 3u);
+    ASSERT_EQ(Stats.EffortToSolve.size(), 3u);
+    // Alignment: solved tasks report positive effort at their own index,
+    // the impossible task reports -1 at index 2.
+    EXPECT_FALSE(Fs[0].empty());
+    EXPECT_FALSE(Fs[1].empty());
+    EXPECT_TRUE(Fs[2].empty());
+    EXPECT_GT(Stats.EffortToSolve[0], 0);
+    EXPECT_GT(Stats.EffortToSolve[1], 0);
+    EXPECT_EQ(Stats.EffortToSolve[2], -1);
+    if (Threads == 1)
+      Baseline = Stats.EffortToSolve;
+    else
+      EXPECT_EQ(Stats.EffortToSolve, Baseline) << "NumThreads=" << Threads;
+  }
 }

@@ -73,6 +73,28 @@ TEST_F(SamplingTest, FantasyCountIsRespected) {
   EXPECT_GE(Fs.size(), 10u);
 }
 
+TEST_F(SamplingTest, FantasiesIdenticalAcrossThreadCounts) {
+  // Attempt-indexed RNG derivation: the fantasy set is a pure function of
+  // the caller's seed, never of how many workers ran the attempts.
+  for (bool MapVariant : {true, false}) {
+    auto Run = [&](int Threads) {
+      std::mt19937 Rng(42);
+      auto Fs = sampleFantasies(G, {seedTask()}, 20, Rng, MapVariant,
+                                defaultFantasyTask, Threads);
+      std::string Sig;
+      for (const Fantasy &F : Fs)
+        Sig += F.T->name() + "|" + F.Program->show() + "|" +
+               std::to_string(F.LogPrior) + ";";
+      return Sig;
+    };
+    const std::string Baseline = Run(1);
+    EXPECT_FALSE(Baseline.empty());
+    for (int Threads : {2, 8})
+      EXPECT_EQ(Run(Threads), Baseline)
+          << "NumThreads=" << Threads << " MapVariant=" << MapVariant;
+  }
+}
+
 TEST_F(SamplingTest, MapVariantKeepsHighestPriorPerObservation) {
   std::mt19937 Rng(5);
   auto Fs = sampleFantasies(G, {seedTask()}, 40, Rng, /*MapVariant=*/true);

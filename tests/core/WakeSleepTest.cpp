@@ -117,6 +117,37 @@ TEST(WakeSleep, MetricsAreMonotoneAndConsistent) {
   EXPECT_EQ(R.Cycles.back().TrainSolvedCumulative, R.trainSolved());
 }
 
+TEST(WakeSleep, ResultsIdenticalAcrossThreadCounts) {
+  // End-to-end determinism: the full loop (guided + fallback wake search,
+  // compression, dreamed recognition training) produces identical results
+  // whether the thread pool is off or saturated.
+  auto Run = [&](int Threads) {
+    DomainSpec D = miniDomain();
+    WakeSleepConfig C = miniConfig(SystemVariant::Full);
+    C.NumThreads = Threads;
+    WakeSleepResult R = runWakeSleep(D, C);
+    std::string Sig;
+    for (const Production &P : R.FinalGrammar.productions())
+      Sig += P.Program->show() + ";";
+    for (const Frontier &F : R.TrainFrontiers) {
+      Sig += "[";
+      for (const FrontierEntry &E : F.entries())
+        Sig += E.Program->show() + ",";
+      Sig += "]";
+    }
+    for (const CycleMetrics &M : R.Cycles) {
+      Sig += "|" + std::to_string(M.TrainSolvedCumulative) + "," +
+             std::to_string(M.LibrarySize) + "," +
+             std::to_string(M.WakeNodesExpanded);
+      for (long E : M.SolveEffort)
+        Sig += "," + std::to_string(E);
+    }
+    return Sig;
+  };
+  const std::string Serial = Run(1);
+  EXPECT_EQ(Run(8), Serial);
+}
+
 TEST(WakeSleep, VariantNamesAreStable) {
   EXPECT_STREQ(variantName(SystemVariant::Full), "DreamCoder");
   EXPECT_STREQ(variantName(SystemVariant::Ec2), "EC2 (batched)");

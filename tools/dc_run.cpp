@@ -37,7 +37,10 @@ void usage(const char *Argv0) {
       stderr,
       "usage: %s [--domain NAME] [--variant NAME] [--iterations N]\n"
       "          [--minibatch N] [--seed N] [--node-budget N]\n"
-      "          [--checkpoint PATH] [--resume PATH] [--verbose]\n"
+      "          [--threads N] [--checkpoint PATH] [--resume PATH]\n"
+      "          [--verbose]\n"
+      "--threads: 0 = one per core (default), 1 = serial, N = at most N;\n"
+      "           results are identical at every setting\n"
       "domains:  list text logo tower regex regression physics origami\n"
       "variants: full no-rec no-abs memorize memorize-rec ec ec2 "
       "enumerate\n",
@@ -117,6 +120,8 @@ int main(int Argc, char **Argv) {
       Seed = static_cast<unsigned>(std::atoi(Next()));
     else if (!std::strcmp(Argv[I], "--node-budget"))
       NodeBudget = std::atol(Next());
+    else if (!std::strcmp(Argv[I], "--threads"))
+      Config.NumThreads = std::atoi(Next());
     else if (!std::strcmp(Argv[I], "--checkpoint"))
       CheckpointPath = Next();
     else if (!std::strcmp(Argv[I], "--resume"))

@@ -15,9 +15,13 @@
 #ifndef DC_BENCH_BENCHUTIL_H
 #define DC_BENCH_BENCHUTIL_H
 
+#include "obs/Metrics.h"
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -44,17 +48,112 @@ private:
   std::chrono::steady_clock::time_point Start;
 };
 
+/// Mirrors the bench's text output (every banner()/row()/note() made while
+/// it is alive) into `BENCH_<name>.json` in the working directory, so CI
+/// and plotting scripts can consume results without scraping stdout.
+/// Declare one at the top of a bench's main(); the file is written when it
+/// goes out of scope. Purely additive: the text output is unchanged.
+class JsonReport {
+public:
+  explicit JsonReport(std::string BenchName) : Name(std::move(BenchName)) {
+    active() = this;
+  }
+  ~JsonReport() {
+    if (active() == this)
+      active() = nullptr;
+    write();
+  }
+  JsonReport(const JsonReport &) = delete;
+  JsonReport &operator=(const JsonReport &) = delete;
+
+  static JsonReport *&active() {
+    static JsonReport *Current = nullptr;
+    return Current;
+  }
+
+  void addSection(const std::string &Title) {
+    Sections.push_back({Title, {}, {}});
+  }
+  void addRow(const std::string &Label, double Value,
+              const std::string &Unit) {
+    if (Sections.empty())
+      addSection("");
+    Sections.back().Rows.push_back({Label, Unit, Value});
+  }
+  void addNote(const std::string &Text) {
+    if (Sections.empty())
+      addSection("");
+    Sections.back().Notes.push_back(Text);
+  }
+
+private:
+  struct RowEntry {
+    std::string Label, Unit;
+    double Value;
+  };
+  struct Section {
+    std::string Title;
+    std::vector<RowEntry> Rows;
+    std::vector<std::string> Notes;
+  };
+
+  void write() const {
+    std::ostringstream Os;
+    Os << "{\"bench\":";
+    dc::obs::writeJsonEscaped(Os, Name);
+    Os << ",\"wall_seconds\":" << Timer.seconds() << ",\"sections\":[";
+    for (size_t S = 0; S < Sections.size(); ++S) {
+      if (S)
+        Os << ",";
+      Os << "{\"title\":";
+      dc::obs::writeJsonEscaped(Os, Sections[S].Title);
+      Os << ",\"rows\":[";
+      for (size_t R = 0; R < Sections[S].Rows.size(); ++R) {
+        const RowEntry &E = Sections[S].Rows[R];
+        if (R)
+          Os << ",";
+        Os << "{\"label\":";
+        dc::obs::writeJsonEscaped(Os, E.Label);
+        Os << ",\"value\":" << E.Value << ",\"unit\":";
+        dc::obs::writeJsonEscaped(Os, E.Unit);
+        Os << "}";
+      }
+      Os << "],\"notes\":[";
+      for (size_t N = 0; N < Sections[S].Notes.size(); ++N) {
+        if (N)
+          Os << ",";
+        dc::obs::writeJsonEscaped(Os, Sections[S].Notes[N]);
+      }
+      Os << "]}";
+    }
+    Os << "]}\n";
+    std::ofstream File("BENCH_" + Name + ".json");
+    if (File)
+      File << Os.str();
+  }
+
+  std::string Name;
+  std::vector<Section> Sections;
+  WallTimer Timer;
+};
+
 inline void banner(const std::string &Title) {
   std::printf("\n==== %s ====\n", Title.c_str());
+  if (JsonReport *R = JsonReport::active())
+    R->addSection(Title);
 }
 
 inline void row(const std::string &Label, double Value,
                 const char *Unit = "") {
   std::printf("  %-34s %8.3f %s\n", Label.c_str(), Value, Unit);
+  if (JsonReport *R = JsonReport::active())
+    R->addRow(Label, Value, Unit);
 }
 
 inline void note(const std::string &Text) {
   std::printf("  %s\n", Text.c_str());
+  if (JsonReport *R = JsonReport::active())
+    R->addNote(Text);
 }
 
 inline double percent(int Num, int Den) {

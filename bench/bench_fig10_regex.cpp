@@ -17,6 +17,7 @@ using namespace dc;
 using namespace dcbench;
 
 int main() {
+  dcbench::JsonReport Report("fig10_regex");
   const SystemVariant Variants[] = {SystemVariant::Full,
                                     SystemVariant::NoAbstraction,
                                     SystemVariant::NoRecognition};

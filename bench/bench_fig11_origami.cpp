@@ -82,6 +82,7 @@ int countHigherOrder(const Grammar &G) {
 } // namespace
 
 int main() {
+  dcbench::JsonReport Report("fig11_origami");
   banner("Fig 11B stage 1: cold start (reduced budget)");
   DomainSpec Cold = makeOrigamiDomain(5);
   Cold.Search.NodeBudget = 400000;

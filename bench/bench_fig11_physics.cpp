@@ -17,6 +17,7 @@ using namespace dc;
 using namespace dcbench;
 
 int main() {
+  dcbench::JsonReport Report("fig11_physics");
   DomainSpec D = makePhysicsDomain(11);
   D.Search.NodeBudget = 300000;
   D.Search.MaxBudget = 14.0;

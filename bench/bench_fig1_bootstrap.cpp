@@ -16,6 +16,7 @@ using namespace dc;
 using namespace dcbench;
 
 int main() {
+  dcbench::JsonReport Report("fig1_bootstrap");
   DomainSpec D = makeListDomain(1);
   D.Search.NodeBudget = 200000;
   WakeSleepConfig C;

@@ -42,6 +42,7 @@ void report(const char *Label, const std::vector<long> &Efforts) {
 } // namespace
 
 int main() {
+  dcbench::JsonReport Report("fig20_solve_times");
   DomainSpec D = makeListDomain(1);
   D.Search.NodeBudget = 120000;
 

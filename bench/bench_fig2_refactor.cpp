@@ -19,6 +19,7 @@ using namespace dc;
 using namespace dcbench;
 
 int main() {
+  dcbench::JsonReport Report("fig2_refactor");
   prims::mcCarthy1959();
   Grammar G = Grammar::uniform(prims::mcCarthy1959());
   TypePtr Req = Type::arrow(tList(tInt()), tList(tInt()));

@@ -57,6 +57,7 @@ void analyze(ExprPtr E, SampleStats &S) {
 } // namespace
 
 int main() {
+  dcbench::JsonReport Report("fig6_symmetry");
   std::vector<ExprPtr> Prims = {intPrimitive(0), intPrimitive(1)};
   prims::functionalCore();
   Prims.push_back(lookupPrimitive("+"));

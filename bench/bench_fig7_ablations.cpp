@@ -19,6 +19,7 @@ using namespace dc;
 using namespace dcbench;
 
 int main() {
+  dcbench::JsonReport Report("fig7_ablations");
   std::vector<DomainSpec> Domains = {makeListDomain(1), makeTextDomain(2)};
   // Reduced budgets so the whole grid runs in minutes.
   for (DomainSpec &D : Domains) {

@@ -16,6 +16,7 @@ using namespace dc;
 using namespace dcbench;
 
 int main() {
+  dcbench::JsonReport Report("fig7_library_growth");
   DomainSpec D = makeListDomain(1);
   D.Search.NodeBudget = 120000;
 

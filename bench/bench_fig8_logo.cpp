@@ -59,6 +59,7 @@ void renderAscii(const std::vector<int> &Cells) {
 } // namespace
 
 int main() {
+  dcbench::JsonReport Report("fig8_logo");
   DomainSpec D = makeLogoDomain();
 
   Grammar Before = Grammar::uniform(D.BasePrimitives);

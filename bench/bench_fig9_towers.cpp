@@ -38,6 +38,7 @@ double dreamComplexity(const Grammar &G, int Count, std::mt19937 &Rng) {
 } // namespace
 
 int main() {
+  dcbench::JsonReport Report("fig9_towers");
   DomainSpec D = makeTowerDomain();
 
   Grammar Before = Grammar::uniform(D.BasePrimitives);

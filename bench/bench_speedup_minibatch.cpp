@@ -68,6 +68,7 @@ void parallelWakeSection() {
 } // namespace
 
 int main() {
+  dcbench::JsonReport Report("speedup_minibatch");
   banner("Minibatched vs full-corpus waking (list domain)");
   long NodesBatched = 0, NodesFull = 0;
   int SolvedBatched = 0, SolvedFull = 0;

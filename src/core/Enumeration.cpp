@@ -3,6 +3,8 @@
 #include "core/Enumeration.h"
 
 #include "core/ThreadPool.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <limits>
@@ -106,6 +108,22 @@ private:
   long &Nodes;
 };
 
+/// Mirrors one finished search (task or request-type group) into the
+/// metrics registry: totals as counters, effort/depth distributions as
+/// log-bin histograms. Called once per search, off the hot path.
+void recordSearchMetrics(long NodesExpanded, long ProgramsEnumerated,
+                         long CandidatesTested, int Windows,
+                         double BudgetReached) {
+  if (obs::Telemetry::disabled())
+    return;
+  obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+  R.counter("enum.nodes_expanded").add(NodesExpanded);
+  R.counter("enum.programs_enumerated").add(ProgramsEnumerated);
+  R.counter("enum.candidates_tested").add(CandidatesTested);
+  R.histogram("enum.windows_searched").observe(Windows);
+  R.histogram("enum.budget_reached").observe(BudgetReached);
+}
+
 } // namespace
 
 void dc::enumerateWindow(const EnumerationSource &Src, const TypePtr &Request,
@@ -133,10 +151,12 @@ void EnumerationStats::merge(const EnumerationStats &Other) {
 Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
                        const EnumerationParams &Params,
                        EnumerationStats *Stats) {
+  obs::ScopedSpan Span("enum.solveTask");
   Frontier F(T);
   long Nodes = Params.NodeBudget;
   long Seen = 0;
   long EffortAtSolve = -1;
+  int Windows = 0;
   int WindowsSinceSolved = -1;
   double Lower = 0;
   double Upper = Params.InitialBudget;
@@ -156,6 +176,7 @@ Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
   };
 
   while (Lower < Params.MaxBudget && Nodes > 0) {
+    ++Windows;
     if (!Parallel) {
       enumerateWindow(Src, T->request(), Lower, Upper, Nodes,
                       [&](ExprPtr P, double LogPrior) {
@@ -209,6 +230,16 @@ Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
     Stats->BudgetReached = std::max(Stats->BudgetReached, Upper);
     Stats->EffortToSolve.push_back(EffortAtSolve);
   }
+  recordSearchMetrics(Params.NodeBudget - Nodes, Seen, Seen, Windows,
+                      Upper);
+  if (obs::Telemetry::enabled()) {
+    obs::countAdd("enum.tasks_searched");
+    if (!F.empty()) {
+      obs::countAdd("enum.tasks_solved");
+      obs::observe("enum.effort_to_solve",
+                   static_cast<double>(EffortAtSolve));
+    }
+  }
   return F;
 }
 
@@ -243,12 +274,14 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
   // Workers only ever touch the frontier/effort slots of their group's
   // task indices, which are disjoint across groups.
   auto SolveGroup = [&](size_t GI) {
+    obs::ScopedSpan Span("enum.group");
     const std::vector<size_t> &Indices = GroupIndices[GI];
     const TypePtr &Request = Tasks[Indices.front()]->request();
     long Nodes = Params.NodeBudget;
     long Seen = 0;
     double Lower = 0;
     double Upper = Params.InitialBudget;
+    int Windows = 0;
     int WindowsSinceAllSolved = -1;
 
     // Folds one candidate (with its per-task likelihood row) into the
@@ -267,6 +300,7 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
 
     std::vector<double> Row(Indices.size());
     while (Lower < Params.MaxBudget && Nodes > 0) {
+      ++Windows;
       if (!Parallel) {
         enumerateWindow(G, Request, Lower, Upper, Nodes,
                         [&](ExprPtr P, double LogPrior) {
@@ -321,6 +355,9 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
     GroupStats[GI].NodesExpanded = Params.NodeBudget - Nodes;
     GroupStats[GI].ProgramsEnumerated = Seen;
     GroupStats[GI].BudgetReached = Upper;
+    recordSearchMetrics(Params.NodeBudget - Nodes, Seen,
+                        Seen * static_cast<long>(Indices.size()), Windows,
+                        Upper);
   };
 
   // Distinct request types search independently in parallel; the group
@@ -338,6 +375,14 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
     }
     for (long E : Efforts)
       Stats->EffortToSolve.push_back(E);
+  }
+  if (obs::Telemetry::enabled()) {
+    obs::countAdd("enum.tasks_searched", static_cast<long>(Tasks.size()));
+    for (long E : Efforts)
+      if (E >= 0) {
+        obs::countAdd("enum.tasks_solved");
+        obs::observe("enum.effort_to_solve", static_cast<double>(E));
+      }
   }
   return Out;
 }

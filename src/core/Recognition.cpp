@@ -2,6 +2,9 @@
 
 #include "core/Recognition.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -98,6 +101,7 @@ double RecognitionModel::exampleLossAndGrad(const std::vector<float> &Features,
 void RecognitionModel::trainOnPairs(const std::vector<Fantasy> &Pairs) {
   if (Pairs.empty())
     return;
+  obs::ScopedSpan Span("recognition.sgd");
   // Pre-featurize (featurization is deterministic and reusable).
   std::vector<std::vector<float>> Features;
   Features.reserve(Pairs.size());
@@ -108,20 +112,35 @@ void RecognitionModel::trainOnPairs(const std::vector<Fantasy> &Pairs) {
   std::uniform_int_distribution<size_t> Pick(0, Pairs.size() - 1);
   double RunningLoss = 0;
   long Counted = 0;
+  // Telemetry is write-only: step timings feed a histogram, never the
+  // training loop itself.
+  const bool TimeSteps = obs::Telemetry::enabled();
   for (int Step = 0; Step < Params.TrainingSteps; ++Step) {
+    int64_t T0 = TimeSteps ? obs::Tracer::global().nowMicros() : 0;
     size_t I = Pick(Rng);
     double L = exampleLossAndGrad(Features[I], Pairs[I].T->request(),
                                   Pairs[I].Program);
     Optimizer.step();
     RunningLoss += L;
     ++Counted;
+    if (TimeSteps)
+      obs::observe("recognition.step_micros",
+                   static_cast<double>(obs::Tracer::global().nowMicros() -
+                                       T0));
   }
   LastLoss = Counted ? RunningLoss / static_cast<double>(Counted) : 0;
+  if (obs::Telemetry::enabled()) {
+    obs::countAdd("recognition.gradient_steps", Counted);
+    obs::countAdd("recognition.training_pairs",
+                  static_cast<long>(Pairs.size()));
+    obs::gaugeSet("recognition.last_loss", LastLoss);
+  }
 }
 
 void RecognitionModel::train(const std::vector<Frontier> &Replays,
                              const std::vector<TaskPtr> &ReplayTasks,
                              const FantasyHook &Hook) {
+  obs::ScopedSpan Span("recognition.train");
   std::vector<Fantasy> Pairs;
 
   // Replays: the best program for every solved task (L^MAP), or every beam
@@ -137,10 +156,16 @@ void RecognitionModel::train(const std::vector<Frontier> &Replays,
     }
   }
 
+  if (obs::Telemetry::enabled())
+    obs::countAdd("recognition.replays", static_cast<long>(Pairs.size()));
+
   // Fantasies: dreams from the generative model.
   std::vector<Fantasy> Dreams =
       sampleFantasies(Base, ReplayTasks, Params.FantasyCount, Rng,
                       Params.MapObjective, Hook, Params.NumThreads);
+  if (obs::Telemetry::enabled())
+    obs::countAdd("recognition.fantasies",
+                  static_cast<long>(Dreams.size()));
   for (Fantasy &D : Dreams)
     Pairs.push_back(std::move(D));
 

@@ -3,6 +3,8 @@
 #include "core/Sampling.h"
 
 #include "core/ThreadPool.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -58,6 +60,7 @@ std::vector<Fantasy> dc::sampleFantasies(const Grammar &G,
   std::vector<Fantasy> Out;
   if (Seeds.empty() || Count <= 0)
     return Out;
+  obs::ScopedSpan Span("recognition.fantasies");
 
   // One draw from the caller's stream seeds the whole batch; every
   // attempt then gets attemptRng(Base, I), so the result is a pure
@@ -67,6 +70,7 @@ std::vector<Fantasy> dc::sampleFantasies(const Grammar &G,
 
   // One sampling attempt; nullopt when sampling or execution fails.
   auto Attempt = [&](std::uint64_t I) -> std::optional<Fantasy> {
+    obs::countAdd("sampling.fantasy_attempts");
     std::mt19937 ARng = attemptRng(Base, I);
     std::uniform_int_distribution<size_t> PickSeed(0, Seeds.size() - 1);
     const TaskPtr &Seed = Seeds[PickSeed(ARng)];
@@ -135,5 +139,8 @@ std::vector<Fantasy> dc::sampleFantasies(const Grammar &G,
       (void)Sig;
       Out.push_back(std::move(F));
     }
+  if (obs::Telemetry::enabled())
+    obs::countAdd("sampling.fantasies_kept",
+                  static_cast<long>(Out.size()));
   return Out;
 }

@@ -2,6 +2,9 @@
 
 #include "core/ThreadPool.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <memory>
 
@@ -24,9 +27,28 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> Job) {
+  // Telemetry wrapper: queue latency (enqueue → start) and run time per
+  // job. Instrumentation is decided at submit time with one relaxed
+  // load; an un-instrumented submit is the exact legacy path.
+  if (obs::Telemetry::enabled()) {
+    int64_t Enqueued = obs::Tracer::global().nowMicros();
+    Job = [Enqueued, Inner = std::move(Job)] {
+      int64_t Started = obs::Tracer::global().nowMicros();
+      obs::observe("threadpool.queue_micros",
+                   static_cast<double>(Started - Enqueued));
+      Inner();
+      obs::observe("threadpool.task_micros",
+                   static_cast<double>(obs::Tracer::global().nowMicros() -
+                                       Started));
+    };
+    obs::countAdd("threadpool.tasks_submitted");
+  }
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     Queue.push_back(std::move(Job));
+    if (obs::Telemetry::enabled())
+      obs::gaugeSet("threadpool.queue_depth",
+                    static_cast<double>(Queue.size()));
   }
   QueueCv.notify_one();
 }
@@ -34,6 +56,10 @@ void ThreadPool::submit(std::function<void()> Job) {
 void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Job;
+    // Idle time: sampled only while telemetry is on when the wait began,
+    // so a disabled run never touches the clock here.
+    const bool TimeIdle = obs::Telemetry::enabled();
+    int64_t IdleFrom = TimeIdle ? obs::Tracer::global().nowMicros() : 0;
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
       QueueCv.wait(Lock, [&] { return ShuttingDown || !Queue.empty(); });
@@ -42,6 +68,10 @@ void ThreadPool::workerLoop() {
       Job = std::move(Queue.front());
       Queue.pop_front();
     }
+    if (TimeIdle)
+      obs::observe("threadpool.idle_micros",
+                   static_cast<double>(obs::Tracer::global().nowMicros() -
+                                       IdleFrom));
     Job();
   }
 }

@@ -4,10 +4,13 @@
 
 #include "core/LikelihoodSummary.h"
 #include "core/ThreadPool.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <numeric>
+#include <optional>
 
 using namespace dc;
 
@@ -56,6 +59,38 @@ bool usesMemorize(SystemVariant V) {
   return V == SystemVariant::MemorizeNoRec ||
          V == SystemVariant::MemorizeRec;
 }
+
+/// Times one wake-sleep phase: emits a trace span named
+/// "<phase>" and a per-cycle wall-time gauge
+/// "wakesleep.cycle.<N>.<phase>_seconds". Inert while telemetry is off
+/// (no clock reads), and write-only by contract — phase timing never
+/// feeds back into the loop.
+class PhaseTimer {
+public:
+  PhaseTimer(const char *Phase, int Cycle) : Phase(Phase), Cycle(Cycle) {
+    if (obs::Telemetry::enabled()) {
+      Start = obs::Tracer::global().begin();
+      Active = true;
+    }
+  }
+  ~PhaseTimer() {
+    if (!Active)
+      return;
+    int64_t Dur = obs::Tracer::global().nowMicros() - Start;
+    obs::Tracer::global().end(Phase, Start);
+    obs::gaugeSet("wakesleep.cycle." + std::to_string(Cycle) + "." +
+                      Phase + "_seconds",
+                  static_cast<double>(Dur) / 1e6);
+  }
+  PhaseTimer(const PhaseTimer &) = delete;
+  PhaseTimer &operator=(const PhaseTimer &) = delete;
+
+private:
+  std::string Phase;
+  int Cycle;
+  int64_t Start = 0;
+  bool Active = false;
+};
 
 /// The memorize baseline (cf. [8]): every solved task's best program is
 /// added to the library wholesale; weights are refit on the frontiers.
@@ -188,7 +223,12 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
     CycleMetrics Metrics;
     Metrics.Cycle = Cycle;
 
+    // One timer spans each phase; emplace closes the previous phase's
+    // span before opening the next.
+    std::optional<PhaseTimer> Phase;
+
     // ---- Wake: random minibatch of training tasks ----------------------
+    Phase.emplace("wake", Cycle);
     std::vector<size_t> Order(Domain.TrainTasks.size());
     std::iota(Order.begin(), Order.end(), 0);
     std::shuffle(Order.begin(), Order.end(), Rng);
@@ -233,6 +273,7 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
     }
 
     // ---- Sleep: abstraction ---------------------------------------------
+    Phase.emplace("abstraction", Cycle);
     if (Config.Variant != SystemVariant::EnumerationOnly) {
       std::vector<Frontier> Solved;
       std::vector<size_t> SolvedIdx;
@@ -266,6 +307,7 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
     }
 
     // ---- Sleep: dreaming -------------------------------------------------
+    Phase.emplace("dreaming", Cycle);
     if (usesRecognition(Config.Variant)) {
       RecognitionParams RP = Config.Recog;
       RP.Seed = Config.Seed + 77 * Cycle + 1;
@@ -280,6 +322,7 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
     }
 
     // ---- Metrics ----------------------------------------------------------
+    Phase.emplace("evaluate", Cycle);
     Metrics.TrainSolvedCumulative = Result.trainSolved();
     Metrics.LibrarySize = static_cast<int>(
         Result.FinalGrammar.productions().size());
@@ -296,6 +339,31 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
       if (LastCycle) {
         Result.FinalTestSolved = Solved;
         Result.FinalTestEffort = Efforts;
+      }
+    }
+    Phase.reset();
+    // Mirror every CycleMetrics field into the registry so JSON exports
+    // carry the full per-cycle story. Write-only: nothing below is read
+    // back by the loop.
+    if (obs::Telemetry::enabled()) {
+      obs::MetricsRegistry &R = obs::MetricsRegistry::global();
+      const std::string Prefix =
+          "wakesleep.cycle." + std::to_string(Cycle) + ".";
+      R.counter("wakesleep.cycles").add(1);
+      R.counter("wake.nodes_expanded").add(Metrics.WakeNodesExpanded);
+      R.gauge(Prefix + "train_solved_cumulative")
+          .set(Metrics.TrainSolvedCumulative);
+      R.gauge(Prefix + "test_solved").set(Metrics.TestSolved);
+      R.gauge(Prefix + "library_size").set(Metrics.LibrarySize);
+      R.gauge(Prefix + "library_depth").set(Metrics.LibraryDepth);
+      R.gauge(Prefix + "wake_nodes_expanded")
+          .set(static_cast<double>(Metrics.WakeNodesExpanded));
+      for (long E : Metrics.SolveEffort) {
+        if (E >= 0)
+          R.histogram("wakesleep.solve_effort")
+              .observe(static_cast<double>(E));
+        else
+          R.counter("wakesleep.batch_unsolved").add(1);
       }
     }
     if (Config.Verbose)

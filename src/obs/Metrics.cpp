@@ -1,0 +1,236 @@
+//===- obs/Metrics.cpp - Thread-safe metrics registry ---------------------===//
+
+#include "obs/Metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+using namespace dc;
+using namespace dc::obs;
+
+void dc::obs::writeJsonEscaped(std::ostream &Out, std::string_view S) {
+  Out << '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out << "\\\"";
+      break;
+    case '\\':
+      Out << "\\\\";
+      break;
+    case '\n':
+      Out << "\\n";
+      break;
+    case '\r':
+      Out << "\\r";
+      break;
+    case '\t':
+      Out << "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out << Buf;
+      } else {
+        Out << C;
+      }
+    }
+  }
+  Out << '"';
+}
+
+namespace {
+
+/// JSON has no Infinity/NaN literals; clamp to null-free numbers.
+void writeJsonNumber(std::ostream &Out, double V) {
+  if (std::isnan(V)) {
+    Out << 0;
+    return;
+  }
+  if (std::isinf(V)) {
+    Out << (V > 0 ? "1e308" : "-1e308");
+    return;
+  }
+  // Round-trippable without scientific-notation surprises for the
+  // integral counts that dominate the registry.
+  if (V == std::floor(V) && std::fabs(V) < 1e15) {
+    Out << static_cast<long long>(V);
+    return;
+  }
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", V);
+  Out << Buf;
+}
+
+int binIndex(double Value) {
+  if (!(Value >= 1.0))
+    return 0; // negatives, NaN, and [0, 1) all land in the first bin
+  int Bin = 1 + static_cast<int>(std::floor(std::log2(Value)));
+  return Bin >= Histogram::NumBins ? Histogram::NumBins - 1 : Bin;
+}
+
+/// CAS-loop fetch-add / min / max for pre-C++20-atomic-double toolchains.
+void atomicAdd(std::atomic<double> &A, double Delta) {
+  double Cur = A.load(std::memory_order_relaxed);
+  while (!A.compare_exchange_weak(Cur, Cur + Delta,
+                                  std::memory_order_relaxed))
+    ;
+}
+
+void atomicMin(std::atomic<double> &A, double V) {
+  double Cur = A.load(std::memory_order_relaxed);
+  while (V < Cur &&
+         !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+void atomicMax(std::atomic<double> &A, double V) {
+  double Cur = A.load(std::memory_order_relaxed);
+  while (V > Cur &&
+         !A.compare_exchange_weak(Cur, V, std::memory_order_relaxed))
+    ;
+}
+
+} // namespace
+
+void Histogram::observe(double Value) {
+  Bins[binIndex(Value)].fetch_add(1, std::memory_order_relaxed);
+  atomicAdd(Sum, Value);
+  // First observation seeds min/max; the race between the seed and a
+  // concurrent observe resolves through the CAS loops (both orders leave
+  // min <= every observed value <= max).
+  if (N.fetch_add(1, std::memory_order_relaxed) == 0) {
+    Min.store(Value, std::memory_order_relaxed);
+    Max.store(Value, std::memory_order_relaxed);
+  }
+  atomicMin(Min, Value);
+  atomicMax(Max, Value);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : Min.load(std::memory_order_relaxed);
+}
+
+double Histogram::max() const {
+  return count() == 0 ? 0.0 : Max.load(std::memory_order_relaxed);
+}
+
+double Histogram::binUpperBound(int Bin) {
+  if (Bin <= 0)
+    return 1.0;
+  if (Bin >= NumBins - 1)
+    return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, Bin); // 2^Bin
+}
+
+MetricsRegistry &MetricsRegistry::global() {
+  static MetricsRegistry *Registry = new MetricsRegistry();
+  return *Registry;
+}
+
+Counter &MetricsRegistry::counter(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Counters.find(Name);
+  if (It == Counters.end())
+    It = Counters.emplace(std::string(Name), std::make_unique<Counter>())
+             .first;
+  return *It->second;
+}
+
+Gauge &MetricsRegistry::gauge(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Gauges.find(Name);
+  if (It == Gauges.end())
+    It = Gauges.emplace(std::string(Name), std::make_unique<Gauge>()).first;
+  return *It->second;
+}
+
+Histogram &MetricsRegistry::histogram(std::string_view Name) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Histograms.find(Name);
+  if (It == Histograms.end())
+    It = Histograms.emplace(std::string(Name),
+                            std::make_unique<Histogram>())
+             .first;
+  return *It->second;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Counters.clear();
+  Gauges.clear();
+  Histograms.clear();
+}
+
+size_t MetricsRegistry::counterCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Counters.size();
+}
+
+size_t MetricsRegistry::gaugeCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Gauges.size();
+}
+
+size_t MetricsRegistry::histogramCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Histograms.size();
+}
+
+void MetricsRegistry::writeJson(std::ostream &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Out << "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, C] : Counters) {
+    Out << (First ? "\n    " : ",\n    ");
+    First = false;
+    writeJsonEscaped(Out, Name);
+    Out << ": " << C->value();
+  }
+  Out << (First ? "" : "\n  ") << "},\n  \"gauges\": {";
+  First = true;
+  for (const auto &[Name, G] : Gauges) {
+    Out << (First ? "\n    " : ",\n    ");
+    First = false;
+    writeJsonEscaped(Out, Name);
+    Out << ": ";
+    writeJsonNumber(Out, G->value());
+  }
+  Out << (First ? "" : "\n  ") << "},\n  \"histograms\": {";
+  First = true;
+  for (const auto &[Name, H] : Histograms) {
+    Out << (First ? "\n    " : ",\n    ");
+    First = false;
+    writeJsonEscaped(Out, Name);
+    Out << ": {\"count\": " << H->count() << ", \"sum\": ";
+    writeJsonNumber(Out, H->sum());
+    Out << ", \"min\": ";
+    writeJsonNumber(Out, H->min());
+    Out << ", \"max\": ";
+    writeJsonNumber(Out, H->max());
+    Out << ", \"bins\": [";
+    bool FirstBin = true;
+    for (int B = 0; B < Histogram::NumBins; ++B) {
+      long BinN = H->binCount(B);
+      if (BinN == 0)
+        continue;
+      Out << (FirstBin ? "" : ", ");
+      FirstBin = false;
+      Out << "{\"le\": ";
+      writeJsonNumber(Out, Histogram::binUpperBound(B));
+      Out << ", \"count\": " << BinN << "}";
+    }
+    Out << "]}";
+  }
+  Out << (First ? "" : "\n  ") << "}\n}\n";
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::ostringstream SS;
+  writeJson(SS);
+  return SS.str();
+}

@@ -1,0 +1,11 @@
+//===- obs/Telemetry.cpp - Telemetry kill switch --------------------------===//
+
+#include "obs/Telemetry.h"
+
+namespace dc::obs {
+
+#if DC_TELEMETRY
+std::atomic<bool> Telemetry::Runtime{false};
+#endif
+
+} // namespace dc::obs

@@ -3,6 +3,8 @@
 #include "vs/Compression.h"
 
 #include "core/LikelihoodSummary.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "vs/VersionSpace.h"
 
 #include <algorithm>
@@ -206,14 +208,19 @@ double dc::libraryScore(Grammar &G, const std::vector<Frontier> &Frontiers,
 CompressionResult
 dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
                     const CompressionParams &Params) {
+  obs::ScopedSpan CompressSpan("compress");
   CompressionResult Result;
   Result.NewGrammar = G;
   Result.RewrittenFrontiers = Frontiers;
   Result.InitialScore = libraryScore(Result.NewGrammar,
                                      Result.RewrittenFrontiers, Params);
   Result.FinalScore = Result.InitialScore;
+  obs::gaugeSet("compress.score_initial", Result.InitialScore);
 
   for (int Round = 0; Round < Params.MaxNewInventions; ++Round) {
+    obs::countAdd("compress.rounds");
+    int64_t ClosureStart =
+        obs::Telemetry::enabled() ? obs::Tracer::global().begin() : 0;
     // Build the refactoring closure of every beam program. Large corpora
     // can overflow the node cap at n=3; degrade the inversion depth
     // rather than giving up (shallower refactorings still beat none).
@@ -248,6 +255,14 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
     }
     if (Steps <= 0 && Params.RefactorSteps > 0)
       break; // even n=1 overflows: corpus too large for refactoring
+    if (obs::Telemetry::enabled()) {
+      obs::Tracer::global().end("compress.closure", ClosureStart);
+      obs::observe("compress.version_nodes",
+                   static_cast<double>(VT.size()));
+      obs::gaugeSet("compress.refactor_steps", Steps);
+    }
+    int64_t ProposeStart =
+        obs::Telemetry::enabled() ? obs::Tracer::global().begin() : 0;
 
     // Count, for each version-space node, how many tasks' refactorings
     // contain it.
@@ -316,8 +331,18 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
                    "baseline %.2f\n",
                    Round, Ranked.size(), Candidates.size(),
                    Result.FinalScore);
+    if (obs::Telemetry::enabled()) {
+      obs::Tracer::global().end("compress.propose", ProposeStart);
+      obs::countAdd("compress.candidates_ranked",
+                    static_cast<long>(Ranked.size()));
+      obs::countAdd("compress.candidates_proposed",
+                    static_cast<long>(Candidates.size()));
+      for (const Candidate &C : Candidates)
+        obs::observe("compress.candidate_coverage", C.TasksCovered);
+    }
     if (Candidates.empty())
       break;
+    obs::ScopedSpan ScoreSpan("compress.score");
 
     // Score each candidate by rewriting all beams under D ∪ {invention}.
     double BestScore = Result.FinalScore;
@@ -353,6 +378,7 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
         }
       }
       double Score = libraryScore(Extended, Rewritten, Params);
+      obs::countAdd("compress.candidates_scored");
       if (Params.Verbose && CI < 12)
         std::fprintf(stderr, "  cand[%zu] %-40s cover=%d score=%.2f%s\n", CI,
                      C.Invention->show().c_str(), C.TasksCovered, Score,
@@ -375,7 +401,9 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
     Result.RewrittenFrontiers = std::move(BestFrontiers);
     Result.NewInventions.push_back(Candidates[BestIdx].Invention);
     Result.FinalScore = BestScore;
+    obs::countAdd("compress.inventions_adopted");
   }
+  obs::gaugeSet("compress.score_final", Result.FinalScore);
 
   // Re-anchor frontier priors to the final grammar.
   for (Frontier &F : Result.RewrittenFrontiers)

@@ -2,6 +2,8 @@
 
 #include "vs/VersionSpace.h"
 
+#include "obs/Metrics.h"
+
 #include <algorithm>
 #include <limits>
 
@@ -502,6 +504,14 @@ VsId VersionTable::inversionN(VsId V, int Steps) {
 }
 
 VsId VersionTable::betaClosure(ExprPtr E, int N) {
+  // Telemetry: count root closures and the nodes each one adds. Depth
+  // tracks the structural recursion below so only the outermost call
+  // reports (inner calls are the same closure, not new ones).
+  thread_local int ClosureDepth = 0;
+  const bool AtRoot = ClosureDepth == 0 && obs::Telemetry::enabled();
+  const size_t NodesBefore = AtRoot ? Nodes.size() : 0;
+  ++ClosureDepth;
+
   // Paper §3.1: Iβ(ρ) = Iβn(ρ) ⊎ (structural recursion into subterms),
   // compiling together the equivalences discovered at every subtree.
   VsId Child = VoidId;
@@ -519,7 +529,16 @@ VsId VersionTable::betaClosure(ExprPtr E, int N) {
     break;
   }
   VsId NStep = inversionN(incorporate(E), N);
-  return unionOf({NStep, Child});
+  VsId Out = unionOf({NStep, Child});
+
+  --ClosureDepth;
+  if (AtRoot) {
+    obs::countAdd("vs.beta_closures");
+    obs::countAdd("vs.nodes_created",
+                  static_cast<long>(Nodes.size() - NodesBefore));
+    obs::gaugeSet("vs.table_nodes", static_cast<double>(Nodes.size()));
+  }
+  return Out;
 }
 
 //===----------------------------------------------------------------------===//

@@ -108,6 +108,79 @@ TEST_F(SerializationTest, FrontiersForUnknownTasksAreSkipped) {
   EXPECT_EQ(Restored[0].entries().size(), 1u);
 }
 
+TEST_F(SerializationTest, GoldenGrammarTextIsStable) {
+  // The checkpoint format is an interchange format: files written by old
+  // builds must keep loading. This pins the exact serialized text, so a
+  // formatting change that would orphan existing checkpoints fails here.
+  Grammar Golden;
+  Golden.setLogVariable(-1.5);
+  int I0 = Golden.addProduction(parseProgram("+"));
+  Golden.productions()[I0].LogWeight = 0.5;
+  int I1 = Golden.addProduction(parseProgram("1"));
+  Golden.productions()[I1].LogWeight = -2;
+  std::stringstream SS;
+  serializeGrammar(Golden, SS);
+  EXPECT_EQ(SS.str(), "grammar v1\n"
+                      "logVariable -1.5\n"
+                      "production 0.5 +\n"
+                      "production -2 1\n"
+                      "end\n");
+}
+
+TEST_F(SerializationTest, GoldenCheckpointTextLoads) {
+  // The reverse direction: a checkpoint fixed in the v1 format (as an old
+  // build would have written it) must keep deserializing.
+  const char *GoldenText = "grammar v1\n"
+                           "logVariable -0.25\n"
+                           "production 0 #(lambda (+ $0 1))\n"
+                           "production -1.5 +\n"
+                           "end\n"
+                           "frontiers v1\n"
+                           "frontier golden task\n"
+                           "request int -> int\n"
+                           "entry -3.5 0 (lambda (+ $0 1))\n"
+                           "entry -4 -0.5 (lambda $0)\n"
+                           "end\n";
+  std::stringstream SS(GoldenText);
+  std::string Err;
+  auto G2 = deserializeGrammar(SS, &Err);
+  ASSERT_TRUE(G2.has_value()) << Err;
+  EXPECT_DOUBLE_EQ(G2->logVariable(), -0.25);
+  ASSERT_EQ(G2->productions().size(), 2u);
+  EXPECT_EQ(G2->productions()[0].Program,
+            Expr::invented(parseProgram("(lambda (+ $0 1))")));
+  EXPECT_DOUBLE_EQ(G2->productions()[1].LogWeight, -1.5);
+
+  TypePtr Req = Type::arrow(tInt(), tInt());
+  auto T =
+      std::make_shared<Task>("golden task", Req, std::vector<Example>{});
+  std::vector<Frontier> Fs = {Frontier(T)};
+  int N = deserializeFrontiers(Fs, SS, &Err);
+  EXPECT_EQ(N, 2) << Err;
+  ASSERT_EQ(Fs[0].entries().size(), 2u);
+  EXPECT_EQ(Fs[0].best()->Program, parseProgram("(lambda (+ $0 1))"));
+  EXPECT_DOUBLE_EQ(Fs[0].best()->LogPrior, -3.5);
+}
+
+TEST_F(SerializationTest, FrontierEntriesWithUnknownPrimitivesAreSkipped) {
+  // A library shrink between save and load must not poison the whole
+  // checkpoint: the unparseable entry is dropped, its neighbors survive.
+  const char *Text = "frontiers v1\n"
+                     "frontier mixed\n"
+                     "entry -1 0 (lambda (vanished-prim $0))\n"
+                     "entry -2 0 (lambda (+ $0 1))\n"
+                     "end\n";
+  TypePtr Req = Type::arrow(tInt(), tInt());
+  auto T = std::make_shared<Task>("mixed", Req, std::vector<Example>{});
+  std::vector<Frontier> Fs = {Frontier(T)};
+  std::stringstream SS(Text);
+  std::string Err;
+  int N = deserializeFrontiers(Fs, SS, &Err);
+  EXPECT_EQ(N, 1) << Err;
+  ASSERT_EQ(Fs[0].entries().size(), 1u);
+  EXPECT_EQ(Fs[0].best()->Program, parseProgram("(lambda (+ $0 1))"));
+}
+
 TEST_F(SerializationTest, FileCheckpointRoundTrip) {
   TypePtr Req = Type::arrow(tInt(), tInt());
   auto T = std::make_shared<Task>("ckpt-task", Req, std::vector<Example>{});

@@ -9,6 +9,7 @@
 
 #include "core/WakeSleep.h"
 #include "domains/ListDomain.h"
+#include "obs/Telemetry.h"
 
 #include <gtest/gtest.h>
 
@@ -47,6 +48,29 @@ WakeSleepConfig miniConfig(SystemVariant V) {
   C.Recog.FantasyCount = 30;
   C.Seed = 12;
   return C;
+}
+
+/// Flattens everything determinism covers — learned library, every
+/// frontier program, and all per-cycle metrics — into one comparable
+/// string.
+std::string resultSignature(const WakeSleepResult &R) {
+  std::string Sig;
+  for (const Production &P : R.FinalGrammar.productions())
+    Sig += P.Program->show() + ";";
+  for (const Frontier &F : R.TrainFrontiers) {
+    Sig += "[";
+    for (const FrontierEntry &E : F.entries())
+      Sig += E.Program->show() + ",";
+    Sig += "]";
+  }
+  for (const CycleMetrics &M : R.Cycles) {
+    Sig += "|" + std::to_string(M.TrainSolvedCumulative) + "," +
+           std::to_string(M.LibrarySize) + "," +
+           std::to_string(M.WakeNodesExpanded);
+    for (long E : M.SolveEffort)
+      Sig += "," + std::to_string(E);
+  }
+  return Sig;
 }
 
 } // namespace
@@ -125,27 +149,27 @@ TEST(WakeSleep, ResultsIdenticalAcrossThreadCounts) {
     DomainSpec D = miniDomain();
     WakeSleepConfig C = miniConfig(SystemVariant::Full);
     C.NumThreads = Threads;
-    WakeSleepResult R = runWakeSleep(D, C);
-    std::string Sig;
-    for (const Production &P : R.FinalGrammar.productions())
-      Sig += P.Program->show() + ";";
-    for (const Frontier &F : R.TrainFrontiers) {
-      Sig += "[";
-      for (const FrontierEntry &E : F.entries())
-        Sig += E.Program->show() + ",";
-      Sig += "]";
-    }
-    for (const CycleMetrics &M : R.Cycles) {
-      Sig += "|" + std::to_string(M.TrainSolvedCumulative) + "," +
-             std::to_string(M.LibrarySize) + "," +
-             std::to_string(M.WakeNodesExpanded);
-      for (long E : M.SolveEffort)
-        Sig += "," + std::to_string(E);
-    }
-    return Sig;
+    return resultSignature(runWakeSleep(D, C));
   };
   const std::string Serial = Run(1);
   EXPECT_EQ(Run(8), Serial);
+}
+
+TEST(WakeSleep, ResultsIdenticalWithTelemetry) {
+  // The determinism contract from obs/Telemetry.h: telemetry is
+  // write-only, so flipping it on changes what gets *recorded*, never
+  // what gets *computed* — at any thread count.
+  auto Run = [&](int Threads, bool Telemetry) {
+    dc::obs::TelemetryScope Scope(Telemetry);
+    DomainSpec D = miniDomain();
+    WakeSleepConfig C = miniConfig(SystemVariant::Full);
+    C.NumThreads = Threads;
+    return resultSignature(runWakeSleep(D, C));
+  };
+  for (int Threads : {1, 4}) {
+    const std::string Off = Run(Threads, false);
+    EXPECT_EQ(Run(Threads, true), Off) << "threads=" << Threads;
+  }
 }
 
 TEST(WakeSleep, VariantNamesAreStable) {

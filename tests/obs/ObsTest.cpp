@@ -1,0 +1,345 @@
+//===- tests/obs/ObsTest.cpp - Telemetry subsystem tests ------------------===//
+//
+// The metrics registry under concurrent hammering, histogram binning,
+// JSON well-formedness of both exports (checked by a real little JSON
+// parser, not string matching), and the kill switch's no-op guarantee.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace dc::obs;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Minimal recursive-descent JSON validator
+//===----------------------------------------------------------------------===//
+
+class JsonValidator {
+public:
+  explicit JsonValidator(std::string_view S) : S(S) {}
+
+  bool valid() {
+    skipWs();
+    if (!value())
+      return false;
+    skipWs();
+    return Pos == S.size();
+  }
+
+private:
+  std::string_view S;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < S.size() && (S[Pos] == ' ' || S[Pos] == '\t' ||
+                              S[Pos] == '\n' || S[Pos] == '\r'))
+      ++Pos;
+  }
+  bool eat(char C) {
+    if (Pos < S.size() && S[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+  bool literal(std::string_view L) {
+    if (S.substr(Pos, L.size()) != L)
+      return false;
+    Pos += L.size();
+    return true;
+  }
+  bool string() {
+    if (!eat('"'))
+      return false;
+    while (Pos < S.size() && S[Pos] != '"') {
+      if (S[Pos] == '\\') {
+        ++Pos;
+        if (Pos >= S.size())
+          return false;
+      }
+      ++Pos;
+    }
+    return eat('"');
+  }
+  bool number() {
+    size_t Start = Pos;
+    if (Pos < S.size() && S[Pos] == '-')
+      ++Pos;
+    while (Pos < S.size() && (std::isdigit(S[Pos]) || S[Pos] == '.' ||
+                              S[Pos] == 'e' || S[Pos] == 'E' ||
+                              S[Pos] == '+' || S[Pos] == '-'))
+      ++Pos;
+    return Pos > Start;
+  }
+  bool value() {
+    skipWs();
+    if (Pos >= S.size())
+      return false;
+    switch (S[Pos]) {
+    case '{':
+      return object();
+    case '[':
+      return array();
+    case '"':
+      return string();
+    case 't':
+      return literal("true");
+    case 'f':
+      return literal("false");
+    case 'n':
+      return literal("null");
+    default:
+      return number();
+    }
+  }
+  bool object() {
+    if (!eat('{'))
+      return false;
+    skipWs();
+    if (eat('}'))
+      return true;
+    for (;;) {
+      skipWs();
+      if (!string())
+        return false;
+      skipWs();
+      if (!eat(':') || !value())
+        return false;
+      skipWs();
+      if (eat('}'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+  bool array() {
+    if (!eat('['))
+      return false;
+    skipWs();
+    if (eat(']'))
+      return true;
+    for (;;) {
+      if (!value())
+        return false;
+      skipWs();
+      if (eat(']'))
+        return true;
+      if (!eat(','))
+        return false;
+    }
+  }
+};
+
+bool isValidJson(const std::string &S) { return JsonValidator(S).valid(); }
+
+} // namespace
+
+TEST(JsonValidator, AcceptsAndRejects) {
+  EXPECT_TRUE(isValidJson("{}"));
+  EXPECT_TRUE(isValidJson("[1, 2.5, -3e4, \"a\\\"b\", true, null, {}]"));
+  EXPECT_TRUE(isValidJson("{\"a\": {\"b\": [1]}}"));
+  EXPECT_FALSE(isValidJson("{"));
+  EXPECT_FALSE(isValidJson("[1,]"));
+  EXPECT_FALSE(isValidJson("{\"a\" 1}"));
+  EXPECT_FALSE(isValidJson("{} extra"));
+  EXPECT_FALSE(isValidJson("\"unterminated"));
+}
+
+#if DC_TELEMETRY
+// Everything below exercises recording, which a -DDC_TELEMETRY=OFF
+// build compiles out entirely; only the kill-switch no-op test remains
+// meaningful there.
+
+TEST(Metrics, CounterConcurrentAddsSumExactly) {
+  TelemetryScope On(true);
+  MetricsRegistry::global().reset();
+  constexpr int NumThreads = 8;
+  constexpr long PerThread = 20000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([] {
+      for (long I = 0; I < PerThread; ++I) {
+        countAdd("test.hammer");
+        if (I % 4 == 0)
+          countAdd("test.hammer4", 2);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  MetricsRegistry &R = MetricsRegistry::global();
+  EXPECT_EQ(R.counter("test.hammer").value(), NumThreads * PerThread);
+  EXPECT_EQ(R.counter("test.hammer4").value(), NumThreads * PerThread / 2);
+}
+
+TEST(Metrics, HistogramConcurrentObservesSumExactly) {
+  TelemetryScope On(true);
+  MetricsRegistry::global().reset();
+  constexpr int NumThreads = 8;
+  constexpr int PerThread = 5000;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([T] {
+      for (int I = 0; I < PerThread; ++I)
+        observe("test.hist", static_cast<double>(T * PerThread + I));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Histogram &H = MetricsRegistry::global().histogram("test.hist");
+  const long N = static_cast<long>(NumThreads) * PerThread;
+  EXPECT_EQ(H.count(), N);
+  EXPECT_DOUBLE_EQ(H.sum(), static_cast<double>(N) * (N - 1) / 2);
+  EXPECT_DOUBLE_EQ(H.min(), 0.0);
+  EXPECT_DOUBLE_EQ(H.max(), static_cast<double>(N - 1));
+  long BinTotal = 0;
+  for (int B = 0; B < Histogram::NumBins; ++B)
+    BinTotal += H.binCount(B);
+  EXPECT_EQ(BinTotal, N);
+}
+
+TEST(Metrics, HistogramBinBoundaries) {
+  TelemetryScope On(true);
+  MetricsRegistry::global().reset();
+  Histogram &H = MetricsRegistry::global().histogram("test.bins");
+  // Bin 0 is [0,1); bin i is [2^(i-1), 2^i).
+  H.observe(0.0);
+  H.observe(0.99);
+  EXPECT_EQ(H.binCount(0), 2);
+  H.observe(1.0);
+  H.observe(1.5);
+  EXPECT_EQ(H.binCount(1), 2);
+  H.observe(2.0);
+  H.observe(3.0);
+  EXPECT_EQ(H.binCount(2), 2);
+  H.observe(4.0);
+  EXPECT_EQ(H.binCount(3), 1);
+  EXPECT_DOUBLE_EQ(Histogram::binUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::binUpperBound(1), 2.0);
+  EXPECT_DOUBLE_EQ(Histogram::binUpperBound(2), 4.0);
+  EXPECT_TRUE(std::isinf(Histogram::binUpperBound(Histogram::NumBins - 1)));
+}
+
+TEST(Metrics, GaugeLastWriteWins) {
+  TelemetryScope On(true);
+  MetricsRegistry::global().reset();
+  gaugeSet("test.gauge", 1.5);
+  gaugeSet("test.gauge", -2.75);
+  EXPECT_DOUBLE_EQ(MetricsRegistry::global().gauge("test.gauge").value(),
+                   -2.75);
+}
+
+TEST(Metrics, JsonExportIsWellFormed) {
+  TelemetryScope On(true);
+  MetricsRegistry::global().reset();
+  countAdd("json.counter", 7);
+  gaugeSet("json.gauge \"quoted\\name\"\n", 0.25);
+  observe("json.hist", 3.0);
+  observe("json.hist", 1e12);
+  std::string J = MetricsRegistry::global().toJson();
+  EXPECT_TRUE(isValidJson(J)) << J;
+  EXPECT_NE(J.find("\"json.counter\""), std::string::npos);
+  EXPECT_NE(J.find("\"histograms\""), std::string::npos);
+}
+
+TEST(Metrics, ResetDropsEverything) {
+  TelemetryScope On(true);
+  MetricsRegistry &R = MetricsRegistry::global();
+  R.reset();
+  countAdd("reset.c");
+  gaugeSet("reset.g", 1);
+  observe("reset.h", 1);
+  EXPECT_GE(R.counterCount(), 1u);
+  R.reset();
+  EXPECT_EQ(R.counterCount(), 0u);
+  EXPECT_EQ(R.gaugeCount(), 0u);
+  EXPECT_EQ(R.histogramCount(), 0u);
+}
+
+#endif // DC_TELEMETRY
+
+TEST(Metrics, KillSwitchMakesHelpersNoOps) {
+  TelemetryScope Off(false);
+  MetricsRegistry::global().reset();
+  countAdd("dead.counter");
+  gaugeSet("dead.gauge", 3.0);
+  observe("dead.hist", 3.0);
+  EXPECT_EQ(MetricsRegistry::global().counterCount(), 0u);
+  EXPECT_EQ(MetricsRegistry::global().gaugeCount(), 0u);
+  EXPECT_EQ(MetricsRegistry::global().histogramCount(), 0u);
+}
+
+#if DC_TELEMETRY
+TEST(Trace, SpansRecordAndExportValidJson) {
+  TelemetryScope On(true);
+  Tracer &T = Tracer::global();
+  T.clear();
+  {
+    ScopedSpan Outer("outer \"span\"");
+    ScopedSpan Inner("inner");
+  }
+  int64_t Start = T.begin();
+  T.end("explicit", Start);
+  std::thread([&] { ScopedSpan S("from-other-thread"); }).join();
+  EXPECT_EQ(T.eventCount(), 4u);
+  std::string J = T.toJson();
+  EXPECT_TRUE(isValidJson(J)) << J;
+  EXPECT_EQ(J.front(), '[');
+  EXPECT_NE(J.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(J.find("from-other-thread"), std::string::npos);
+  T.clear();
+  EXPECT_EQ(T.eventCount(), 0u);
+  EXPECT_TRUE(isValidJson(T.toJson()));
+}
+
+#endif // DC_TELEMETRY
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  Tracer &T = Tracer::global();
+  T.clear();
+  {
+    TelemetryScope Off(false);
+    ScopedSpan S("invisible");
+    T.end("also-invisible", 0);
+  }
+  EXPECT_EQ(T.eventCount(), 0u);
+}
+
+TEST(Trace, SpanDisabledAtConstructionStaysInert) {
+  // A span constructed while telemetry is off captures nothing, and stays
+  // inert even if the switch flips on before it closes.
+  Tracer &T = Tracer::global();
+  T.clear();
+  {
+    TelemetryScope Off(false);
+    ScopedSpan S("never");
+    Telemetry::setEnabled(true);
+  }
+  Telemetry::setEnabled(false);
+  EXPECT_EQ(T.eventCount(), 0u);
+}
+
+#if DC_TELEMETRY
+TEST(Telemetry, ScopeRestoresPreviousState) {
+  const bool Before = Telemetry::enabled();
+  {
+    TelemetryScope On(true);
+    EXPECT_TRUE(Telemetry::enabled());
+    {
+      TelemetryScope Off(false);
+      EXPECT_FALSE(Telemetry::enabled());
+    }
+    EXPECT_TRUE(Telemetry::enabled());
+  }
+  EXPECT_EQ(Telemetry::enabled(), Before);
+}
+#endif // DC_TELEMETRY

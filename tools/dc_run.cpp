@@ -14,6 +14,9 @@
 
 #include "core/Serialization.h"
 #include "core/WakeSleep.h"
+#include "obs/Metrics.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
 #include "domains/ListDomain.h"
 #include "domains/LogoDomain.h"
 #include "domains/OrigamiDomain.h"
@@ -38,9 +41,13 @@ void usage(const char *Argv0) {
       "usage: %s [--domain NAME] [--variant NAME] [--iterations N]\n"
       "          [--minibatch N] [--seed N] [--node-budget N]\n"
       "          [--threads N] [--checkpoint PATH] [--resume PATH]\n"
-      "          [--verbose]\n"
+      "          [--metrics-out PATH] [--trace-out PATH] [--verbose]\n"
       "--threads: 0 = one per core (default), 1 = serial, N = at most N;\n"
       "           results are identical at every setting\n"
+      "--metrics-out: write counters/gauges/histograms as JSON after the\n"
+      "               run (enables telemetry; results are unchanged)\n"
+      "--trace-out:   write chrome://tracing trace-event JSON (load via\n"
+      "               about:tracing or https://ui.perfetto.dev)\n"
       "domains:  list text logo tower regex regression physics origami\n"
       "variants: full no-rec no-abs memorize memorize-rec ec ec2 "
       "enumerate\n",
@@ -94,6 +101,7 @@ int main(int Argc, char **Argv) {
   std::string DomainName = "list";
   std::string VariantName = "full";
   std::string CheckpointPath, ResumePath;
+  std::string MetricsPath, TracePath;
   WakeSleepConfig Config;
   Config.Iterations = 3;
   Config.EvaluateTestEachCycle = false;
@@ -126,6 +134,10 @@ int main(int Argc, char **Argv) {
       CheckpointPath = Next();
     else if (!std::strcmp(Argv[I], "--resume"))
       ResumePath = Next();
+    else if (!std::strcmp(Argv[I], "--metrics-out"))
+      MetricsPath = Next();
+    else if (!std::strcmp(Argv[I], "--trace-out"))
+      TracePath = Next();
     else if (!std::strcmp(Argv[I], "--verbose"))
       Config.Verbose = true;
     else {
@@ -175,6 +187,16 @@ int main(int Argc, char **Argv) {
                 Restored.productions().size(), ResumePath.c_str());
   }
 
+  // Telemetry is write-only by contract: enabling it here changes what
+  // gets recorded, never what gets computed (see DESIGN.md).
+  const bool WantTelemetry =
+      !MetricsPath.empty() || !TracePath.empty() || Config.Verbose;
+  if (WantTelemetry) {
+    obs::Telemetry::setEnabled(true);
+    obs::MetricsRegistry::global().reset();
+    obs::Tracer::global().clear();
+  }
+
   WakeSleepResult R = runWakeSleep(*Domain, Config);
 
   std::printf("\nper-cycle metrics:\n");
@@ -202,6 +224,32 @@ int main(int Argc, char **Argv) {
                    CheckpointPath.c_str());
       return 1;
     }
+  }
+
+  if (WantTelemetry && Config.Verbose) {
+    obs::MetricsRegistry &Reg = obs::MetricsRegistry::global();
+    std::fprintf(stderr,
+                 "telemetry: %zu counters, %zu gauges, %zu histograms, "
+                 "%zu trace events; wake nodes expanded: %ld\n",
+                 Reg.counterCount(), Reg.gaugeCount(),
+                 Reg.histogramCount(), obs::Tracer::global().eventCount(),
+                 Reg.counter("wake.nodes_expanded").value());
+  }
+  if (!MetricsPath.empty()) {
+    std::ofstream Out(MetricsPath);
+    if (!Out || !(Out << obs::MetricsRegistry::global().toJson())) {
+      std::fprintf(stderr, "error: cannot write %s\n", MetricsPath.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", MetricsPath.c_str());
+  }
+  if (!TracePath.empty()) {
+    std::ofstream Out(TracePath);
+    if (!Out || !(Out << obs::Tracer::global().toJson())) {
+      std::fprintf(stderr, "error: cannot write %s\n", TracePath.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", TracePath.c_str());
   }
   return 0;
 }

@@ -1,0 +1,139 @@
+//===- bench/bench_compress_parallel.cpp - Parallel abstraction sleep -----===//
+//
+// Wall-clock effect of the thread pool on the abstraction-sleep phase:
+// identical corpus, NumThreads=1 vs parallel compressLibrary. The three
+// compression fan-outs (per-frontier closure shards, candidate scoring,
+// likelihood summaries) dominate sleep time on multi-idiom corpora, and
+// the determinism contract says the CompressionResult must be
+// bit-identical at every thread count — verified here by fingerprint,
+// exiting nonzero on any divergence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/Primitives.h"
+#include "core/ProgramParser.h"
+#include "core/ThreadPool.h"
+#include "vs/Compression.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace dc;
+using namespace dcbench;
+
+namespace {
+
+/// A corpus with several overlapping idioms (double, square, increment,
+/// clamp-to-zero) spread across enough beams that compression ranks and
+/// scores many candidates per round — the workload the scoring fan-out
+/// parallelizes.
+std::vector<Frontier> buildCorpus(const Grammar &G) {
+  TypePtr Req = Type::arrow(tList(tInt()), tList(tInt()));
+  const char *Sources[] = {
+      "(lambda (map (lambda (+ $0 $0)) $0))",
+      "(lambda (map (lambda (+ $0 $0)) (cdr $0)))",
+      "(lambda (cons (+ (car $0) (car $0)) nil))",
+      "(lambda (map (lambda (+ $0 $0)) (map (lambda (+ $0 $0)) $0)))",
+      "(lambda (map (lambda (* $0 $0)) $0))",
+      "(lambda (map (lambda (* $0 $0)) (cdr $0)))",
+      "(lambda (cons (* (car $0) (car $0)) nil))",
+      "(lambda (map (lambda (+ $0 1)) $0))",
+      "(lambda (map (lambda (+ $0 1)) (map (lambda (+ $0 1)) $0)))",
+      "(lambda (map (lambda (- $0 1)) $0))",
+      "(lambda (map (lambda (if (> $0 0) $0 0)) $0))",
+      "(lambda (map (lambda (if (> $0 0) $0 0)) (cdr $0)))",
+      "(lambda (map (lambda (* (+ $0 $0) $0)) $0))",
+      "(lambda (map (lambda (+ (* $0 $0) 1)) $0))",
+      "(lambda (map (lambda (- (* $0 $0) $0)) $0))",
+      "(lambda (map (lambda (+ $0 $0)) (map (lambda (* $0 $0)) $0)))",
+  };
+  std::vector<Frontier> Fs;
+  for (const char *Src : Sources) {
+    ExprPtr P = parseProgram(Src);
+    if (!P) {
+      std::fprintf(stderr, "bad corpus program: %s\n", Src);
+      std::exit(1);
+    }
+    auto T = std::make_shared<Task>(Src, Req, std::vector<Example>{});
+    Frontier F(T);
+    F.record({P, G.logLikelihood(Req, P), 0.0});
+    Fs.push_back(std::move(F));
+  }
+  return Fs;
+}
+
+/// Byte-exact signature of everything compressLibrary promises to keep
+/// deterministic: inventions, grammar weights, rewritten beams, scores.
+std::string resultFingerprint(const CompressionResult &R) {
+  char Buf[64];
+  std::string Sig;
+  for (ExprPtr Inv : R.NewInventions)
+    Sig += Inv->show() + ";";
+  for (const Production &P : R.NewGrammar.productions()) {
+    std::snprintf(Buf, sizeof(Buf), "%.17g", P.LogWeight);
+    Sig += P.Program->show() + "=" + Buf + ";";
+  }
+  for (const Frontier &F : R.RewrittenFrontiers)
+    for (const FrontierEntry &E : F.entries()) {
+      std::snprintf(Buf, sizeof(Buf), "%.17g", E.LogPrior);
+      Sig += E.Program->show() + "@" + Buf + ";";
+    }
+  std::snprintf(Buf, sizeof(Buf), "%.17g/%.17g", R.InitialScore,
+                R.FinalScore);
+  Sig += Buf;
+  return Sig;
+}
+
+} // namespace
+
+int main() {
+  dcbench::JsonReport Report("compress_parallel");
+  banner("Parallel abstraction sleep (thread pool)");
+  const int Threads = threadsFromEnv();
+  const unsigned Resolved = ThreadPool::resolveThreadCount(Threads);
+
+  std::vector<ExprPtr> Core = prims::functionalCore();
+  std::vector<ExprPtr> Extra = prims::arithmeticExtras();
+  Core.insert(Core.end(), Extra.begin(), Extra.end());
+  Grammar G = Grammar::uniform(Core);
+  std::vector<Frontier> Corpus = buildCorpus(G);
+  row("corpus beams", static_cast<double>(Corpus.size()));
+
+  CompressionParams Params;
+  Params.StructurePenalty = 0.5;
+
+  Params.NumThreads = 1;
+  WallTimer SerialTimer;
+  CompressionResult Serial = compressLibrary(G, Corpus, Params);
+  const double SerialSec = SerialTimer.seconds();
+
+  Params.NumThreads = Threads;
+  WallTimer ParallelTimer;
+  CompressionResult Parallel = compressLibrary(G, Corpus, Params);
+  const double ParallelSec = ParallelTimer.seconds();
+
+  row("inventions adopted", static_cast<double>(Serial.NewInventions.size()));
+  for (ExprPtr Inv : Serial.NewInventions)
+    note("  " + Inv->show());
+  row("serial sleep (1 thread)", SerialSec, "s");
+  row("parallel sleep (" + std::to_string(Resolved) + " threads)",
+      ParallelSec, "s");
+  if (ParallelSec > 0)
+    row("speedup", SerialSec / ParallelSec, "x");
+  if (std::thread::hardware_concurrency() <= 1)
+    note("(single hardware core: no wall-clock speedup is possible on "
+         "this machine)");
+
+  const bool Identical =
+      resultFingerprint(Serial) == resultFingerprint(Parallel);
+  note(Identical
+           ? "compression results identical across thread counts "
+             "(determinism)"
+           : "ERROR: compression results differ across thread counts");
+  if (!Identical)
+    std::exit(1);
+  note("(set DC_THREADS to change the parallel thread count; 0 = one");
+  note(" per hardware core)");
+  return 0;
+}

@@ -44,6 +44,8 @@ int main() {
       continue;
     ExprPtr P = F.best()->Program;
     ExprPtr Base = P->stripInventions()->betaNormalForm(4096);
+    if (!Base)
+      continue; // inlining the library did not normalize within budget
     MeanBlowup += static_cast<double>(Base->size()) / P->size();
     ++Counted;
     if (P->inventionDepth() > 0 && Shown < 3) {

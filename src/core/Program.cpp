@@ -313,7 +313,9 @@ ExprPtr Expr::betaNormalForm(int MaxSteps) const {
       return Cur;
     Cur = Next;
   }
-  return Cur;
+  // Budget exhausted with a redex remaining: signal failure instead of
+  // handing back a half-reduced term.
+  return stepBeta(Cur) ? nullptr : Cur;
 }
 
 ExprPtr Expr::stripInventions() const {

@@ -137,7 +137,10 @@ public:
   /// Capture-avoiding substitution of \p Value for index \p Target.
   ExprPtr substitute(int Target, ExprPtr Value) const;
 
-  /// Performs up to \p MaxSteps leftmost-outermost β-reductions.
+  /// Leftmost-outermost β-reduction to normal form. Returns nullptr when
+  /// the term still has a redex after \p MaxSteps reductions — callers must
+  /// treat exhaustion as failure rather than score or install a partially
+  /// reduced term (duplicating redexes can need exponentially many steps).
   ExprPtr betaNormalForm(int MaxSteps = 64) const;
 
   /// Replaces every occurrence of invention nodes by their bodies,

@@ -285,8 +285,11 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
           SolvedIdx.push_back(I);
         }
       }
+      // The sleep phase shares the wake phase's thread knob; results are
+      // identical at every setting (see DESIGN.md, threading model).
+      CompressionParams CP = Config.Compress;
+      CP.NumThreads = Config.NumThreads;
       if (usesCompression(Config.Variant)) {
-        CompressionParams CP = Config.Compress;
         if (Config.Variant == SystemVariant::Ec ||
             Config.Variant == SystemVariant::Ec2)
           CP.RefactorSteps = 0; // subtree proposals only
@@ -296,13 +299,13 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
         for (size_t S = 0; S < SolvedIdx.size(); ++S)
           Result.TrainFrontiers[SolvedIdx[S]] = CR.RewrittenFrontiers[S];
       } else if (usesMemorize(Config.Variant)) {
-        Result.FinalGrammar = memorizeSolutions(Result.FinalGrammar, Solved,
-                                                Config.Compress);
+        Result.FinalGrammar =
+            memorizeSolutions(Result.FinalGrammar, Solved, CP);
         for (size_t I = 0; I < Result.TrainFrontiers.size(); ++I)
           Result.TrainFrontiers[I].rescore(Result.FinalGrammar);
       } else {
         // Recognition-only: still refit θ on what waking found.
-        libraryScore(Result.FinalGrammar, Solved, Config.Compress);
+        libraryScore(Result.FinalGrammar, Solved, CP);
       }
     }
 

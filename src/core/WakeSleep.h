@@ -56,10 +56,11 @@ struct WakeSleepConfig {
   bool EvaluateTestEachCycle = true;
   unsigned Seed = 0;
   bool Verbose = false;
-  /// Worker threads for wake-phase search and dream-phase fantasy
-  /// sampling: 0 = one per hardware core, 1 = single-threaded, N = at
-  /// most N. Results are identical at every setting (see
-  /// EnumerationParams::NumThreads and DESIGN.md, threading model).
+  /// Worker threads for wake-phase search, abstraction-sleep compression,
+  /// and dream-phase fantasy sampling: 0 = one per hardware core, 1 =
+  /// single-threaded, N = at most N. Results are identical at every
+  /// setting (see EnumerationParams::NumThreads,
+  /// CompressionParams::NumThreads, and DESIGN.md, threading model).
   int NumThreads = 0;
 };
 

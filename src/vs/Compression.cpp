@@ -3,12 +3,14 @@
 #include "vs/Compression.h"
 
 #include "core/LikelihoodSummary.h"
+#include "core/ThreadPool.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "vs/VersionSpace.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstdarg>
 #include <cstdio>
 #include <limits>
 #include <set>
@@ -51,42 +53,6 @@ void collectFreeIndices(ExprPtr E, int Depth, std::set<int> &Out) {
     collectFreeIndices(E->arg(), Depth, Out);
     break;
   }
-}
-
-/// Rewrites \p Term so that free index Free[J] becomes the (K-J)-th
-/// innermost of K fresh enclosing lambdas, then wraps the lambdas — the
-/// "close the invention over its free variables" step. The rewritten
-/// occurrence applies the closed invention to $Free[0], $Free[1], ... in
-/// order, so Free[J] must map to λ-index (K-1-J) at depth 0.
-ExprPtr closeOverFree(ExprPtr Term, const std::vector<int> &Free) {
-  int K = static_cast<int>(Free.size());
-  std::function<ExprPtr(ExprPtr, int)> Go = [&](ExprPtr E,
-                                                int Depth) -> ExprPtr {
-    switch (E->kind()) {
-    case ExprKind::Index: {
-      if (E->index() < Depth)
-        return E;
-      int FreeIdx = E->index() - Depth;
-      for (int J = 0; J < K; ++J)
-        if (Free[J] == FreeIdx)
-          return Expr::index(Depth + (K - 1 - J));
-      assert(false && "free index missing from closure set");
-      return E;
-    }
-    case ExprKind::Primitive:
-    case ExprKind::Invented:
-      return E;
-    case ExprKind::Abstraction:
-      return Expr::abstraction(Go(E->body(), Depth + 1));
-    case ExprKind::Application:
-      return Expr::application(Go(E->fn(), Depth), Go(E->arg(), Depth));
-    }
-    return E;
-  };
-  ExprPtr Out = Go(Term, 0);
-  for (int J = 0; J < K; ++J)
-    Out = Expr::abstraction(Out);
-  return Out;
 }
 
 /// True when \p Body is worth turning into a library routine: closed,
@@ -148,20 +114,79 @@ struct Candidate {
   int TasksCovered = 0;
 };
 
+/// printf-append into a per-candidate log buffer, so verbose output from
+/// concurrently scored candidates can be replayed in candidate order.
+void appendf(std::string &Out, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  char Buf[1024];
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
+}
+
 } // namespace
+
+ExprPtr dc::detail::closeOverFreeIndices(ExprPtr Term,
+                                         const std::vector<int> &Free) {
+  int K = static_cast<int>(Free.size());
+  std::function<ExprPtr(ExprPtr, int)> Go = [&](ExprPtr E,
+                                                int Depth) -> ExprPtr {
+    switch (E->kind()) {
+    case ExprKind::Index: {
+      if (E->index() < Depth)
+        return E;
+      int FreeIdx = E->index() - Depth;
+      for (int J = 0; J < K; ++J)
+        if (Free[J] == FreeIdx)
+          return Expr::index(Depth + (K - 1 - J));
+      // A free index outside the closure set: in a Release build the old
+      // assert vanished and the raw index leaked through, silently
+      // miscapturing the invention body. Fail the closure instead; the
+      // caller skips the candidate.
+      return nullptr;
+    }
+    case ExprKind::Primitive:
+    case ExprKind::Invented:
+      return E;
+    case ExprKind::Abstraction: {
+      ExprPtr B = Go(E->body(), Depth + 1);
+      return B ? Expr::abstraction(B) : nullptr;
+    }
+    case ExprKind::Application: {
+      ExprPtr Fn = Go(E->fn(), Depth);
+      if (!Fn)
+        return nullptr;
+      ExprPtr Arg = Go(E->arg(), Depth);
+      return Arg ? Expr::application(Fn, Arg) : nullptr;
+    }
+    }
+    return E;
+  };
+  ExprPtr Out = Go(Term, 0);
+  if (!Out)
+    return nullptr;
+  for (int J = 0; J < K; ++J)
+    Out = Expr::abstraction(Out);
+  return Out;
+}
 
 double dc::libraryScore(Grammar &G, const std::vector<Frontier> &Frontiers,
                         const CompressionParams &Params) {
   // Build a likelihood summary per beam entry (structure is θ-independent).
-  std::vector<std::vector<LikelihoodSummary>> Summaries;
-  Summaries.reserve(Frontiers.size());
-  for (const Frontier &F : Frontiers) {
+  // Rows are independent given a fixed grammar, so they fan out across the
+  // pool into index-addressed slots; G is only re-weighted after the
+  // barrier (refitGrammar below), never during it.
+  std::vector<std::vector<LikelihoodSummary>> Summaries(Frontiers.size());
+  parallelFor(Params.NumThreads, Frontiers.size(), [&](size_t X) {
+    const Frontier &F = Frontiers[X];
     std::vector<LikelihoodSummary> Row;
+    Row.reserve(F.entries().size());
     for (const FrontierEntry &E : F.entries())
       Row.push_back(
           LikelihoodSummary::build(G, F.task()->request(), E.Program));
-    Summaries.push_back(std::move(Row));
-  }
+    Summaries[X] = std::move(Row);
+  });
 
   // One EM step: posterior-weighted expected counts, then refit θ.
   ExpectedCounts Counts;
@@ -221,30 +246,68 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
     obs::countAdd("compress.rounds");
     int64_t ClosureStart =
         obs::Telemetry::enabled() ? obs::Tracer::global().begin() : 0;
-    // Build the refactoring closure of every beam program. Large corpora
-    // can overflow the node cap at n=3; degrade the inversion depth
-    // rather than giving up (shallower refactorings still beat none).
+    // Build the refactoring closure of every beam program. Each frontier's
+    // closure is built in a private per-worker VersionTable shard, then the
+    // shards are folded into one master table in frontier order — the
+    // merged table (and everything downstream of it) is a pure function of
+    // the frontiers and Steps, never of the thread count. Large corpora
+    // can overflow the node cap at n=3; degrade the inversion depth rather
+    // than giving up (shallower refactorings still beat none).
+    const size_t NumFrontiers = Result.RewrittenFrontiers.size();
     VersionTable VT;
     std::vector<std::vector<VsId>> Closures;
     int Steps = Params.RefactorSteps;
+    bool ClosureGaveUp = false;
     for (;; --Steps) {
-      VT = VersionTable();
-      Closures.assign(Result.RewrittenFrontiers.size(), {});
-      bool Overflow = false;
-      for (size_t X = 0;
-           X < Result.RewrittenFrontiers.size() && !Overflow; ++X)
-        for (const FrontierEntry &E :
-             Result.RewrittenFrontiers[X].entries()) {
-          Closures[X].push_back(VT.betaClosure(E.Program, Steps));
-          if (VT.size() > Params.MaxVersionNodes) {
-            Overflow = true;
-            break;
-          }
+      struct ClosureShard {
+        VersionTable Table;
+        std::vector<VsId> Roots;
+        bool Overflow = false;
+      };
+      std::vector<ClosureShard> Shards(NumFrontiers);
+      CancellationToken Cancel;
+      parallelFor(
+          Params.NumThreads, NumFrontiers,
+          [&](size_t X) {
+            obs::ScopedSpan ShardSpan("compress.closure.shard");
+            ClosureShard &S = Shards[X];
+            for (const FrontierEntry &E :
+                 Result.RewrittenFrontiers[X].entries()) {
+              S.Roots.push_back(S.Table.betaClosure(E.Program, Steps));
+              if (S.Table.size() > Params.MaxVersionNodes) {
+                // A shard past the cap means this Steps level is over
+                // budget no matter how the merge would have gone; stop
+                // the other workers early. Which shards got built is
+                // thread-dependent, but everything from this attempt is
+                // discarded, so only the (deterministic) overflow verdict
+                // survives.
+                S.Overflow = true;
+                Cancel.cancel();
+                return;
+              }
+            }
+          },
+          &Cancel);
+      bool Overflow = Cancel.cancelled();
+      if (!Overflow) {
+        obs::ScopedSpan MergeSpan("compress.closure.merge");
+        VT = VersionTable();
+        Closures.assign(NumFrontiers, {});
+        for (size_t X = 0; X < NumFrontiers && !Overflow; ++X) {
+          std::vector<VsId> Memo(Shards[X].Table.size(), -1);
+          for (VsId Root : Shards[X].Roots)
+            Closures[X].push_back(VT.absorb(Shards[X].Table, Root, Memo));
+          Overflow = VT.size() > Params.MaxVersionNodes;
         }
+      }
       if (!Overflow)
         break;
       if (Steps <= 1) {
-        Steps = 0;
+        // Even the shallowest inversion depth overflows: give up on this
+        // round entirely. The partially built table and closures must
+        // never reach proposal ranking (a short Closures row would be
+        // indexed out of bounds by the scoring loop below).
+        ClosureGaveUp = true;
         break;
       }
       if (Params.Verbose)
@@ -253,8 +316,14 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
                      "retrying with n=%d\n",
                      Steps, Steps - 1);
     }
-    if (Steps <= 0 && Params.RefactorSteps > 0)
-      break; // even n=1 overflows: corpus too large for refactoring
+    if (ClosureGaveUp)
+      break; // corpus too large for refactoring at any depth
+#ifndef NDEBUG
+    for (size_t X = 0; X < NumFrontiers; ++X)
+      assert(Closures[X].size() ==
+                 Result.RewrittenFrontiers[X].entries().size() &&
+             "every beam entry needs exactly one closure root");
+#endif
     if (obs::Telemetry::enabled()) {
       obs::Tracer::global().end("compress.closure", ClosureStart);
       obs::observe("compress.version_nodes",
@@ -276,13 +345,19 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
         TasksCovering[V] += InThisTask[V];
     }
 
-    // Rank candidate spaces by coverage, then validate the top ones.
+    // Rank candidate spaces by coverage, then validate the top ones. Ties
+    // break toward the lower node id so the ranking (and hence which
+    // candidates survive the MaxCandidates cut) is a total order,
+    // independent of sort implementation details.
     std::vector<std::pair<int, VsId>> Ranked;
     for (size_t V = 0; V < TasksCovering.size(); ++V)
       if (TasksCovering[V] >= Params.MinimumTasksCovered)
         Ranked.push_back({TasksCovering[V], static_cast<VsId>(V)});
     std::sort(Ranked.begin(), Ranked.end(),
-              [](const auto &A, const auto &B) { return A.first > B.first; });
+              [](const auto &A, const auto &B) {
+                return A.first != B.first ? A.first > B.first
+                                          : A.second < B.second;
+              });
 
     // One candidate-independent extraction cache shared by the proposal
     // scan and by out-of-cone nodes during per-candidate rewriting.
@@ -297,8 +372,12 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
       if (!Term)
         continue;
       // Normalize the invention (the OCaml system's normalize_invention):
-      // extracted members are refactorings and often carry β-redexes.
+      // extracted members are refactorings and often carry β-redexes. A
+      // null return means the budget ran out mid-reduction — drop the
+      // candidate rather than anchor on a half-reduced term.
       Term = Term->betaNormalForm(128);
+      if (!Term)
+        continue;
       // The term may be open — λ-abstract its free variables into the
       // invention and apply the invention back to them at rewrite sites.
       std::set<int> FreeSet;
@@ -306,7 +385,8 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
       if (FreeSet.size() > 2)
         continue; // cap invention arity growth from free variables
       std::vector<int> Free(FreeSet.begin(), FreeSet.end());
-      ExprPtr Body = Free.empty() ? Term : closeOverFree(Term, Free);
+      ExprPtr Body =
+          Free.empty() ? Term : detail::closeOverFreeIndices(Term, Free);
       if (!isUsefulInventionBody(Body, Result.NewGrammar))
         continue;
       if (!SeenBodies.insert(Body).second)
@@ -342,23 +422,45 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
     }
     if (Candidates.empty())
       break;
+
+    // Pre-warm the shared extraction cache on every closure root so the
+    // concurrent scoring workers below find (almost) all out-of-cone nodes
+    // already memoized; the shared cache is strictly read-only from here
+    // on, and residual misses land in per-candidate overlays.
+    {
+      obs::ScopedSpan PrewarmSpan("compress.prewarm");
+      for (size_t X = 0; X < Closures.size(); ++X)
+        for (VsId Root : Closures[X])
+          VT.extractCheapest(Root, SharedCache);
+    }
     obs::ScopedSpan ScoreSpan("compress.score");
 
     // Score each candidate by rewriting all beams under D ∪ {invention}.
-    double BestScore = Result.FinalScore;
-    int BestIdx = -1;
-    std::vector<Frontier> BestFrontiers;
-    Grammar BestGrammar;
-    for (size_t CI = 0; CI < Candidates.size(); ++CI) {
+    // Candidates are independent: each worker copies the grammar and the
+    // frontiers, rewrites against the read-only table/shared cache with a
+    // private overlay, and writes score + rewrite into its own slot.
+    // Verbose output is buffered per candidate and replayed in order.
+    struct ScoredCandidate {
+      double Score = NegInf;
+      std::vector<Frontier> Rewritten;
+      Grammar Extended;
+      std::string VerboseLog;
+    };
+    std::vector<ScoredCandidate> Scored(Candidates.size());
+    CompressionParams InnerParams = Params;
+    InnerParams.NumThreads = 1; // summaries stay serial inside workers
+    parallelFor(Params.NumThreads, Candidates.size(), [&](size_t CI) {
+      obs::ScopedSpan CandidateSpan("compress.score.candidate");
       const Candidate &C = Candidates[CI];
-      Grammar Extended = Result.NewGrammar;
-      Extended.addProduction(C.Invention);
+      ScoredCandidate &S = Scored[CI];
+      S.Extended = Result.NewGrammar;
+      S.Extended.addProduction(C.Invention);
 
-      std::vector<Frontier> Rewritten = Result.RewrittenFrontiers;
+      S.Rewritten = Result.RewrittenFrontiers;
       std::vector<char> Cone = VT.coneAbove(C.Space);
       std::unordered_map<VsId, Extraction> Overlay;
-      for (size_t X = 0; X < Rewritten.size(); ++X) {
-        auto &Entries = Rewritten[X].entries();
+      for (size_t X = 0; X < S.Rewritten.size(); ++X) {
+        auto &Entries = S.Rewritten[X].entries();
         for (size_t I = 0; I < Entries.size(); ++I) {
           Extraction E = VT.extractWithCandidate(
               Closures[X][I], C.Space, C.RewriteExpr, Cone, SharedCache,
@@ -367,27 +469,38 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
             continue;
           // The extracted member may be a refactoring with explicit
           // β-redexes, e.g. ((λ (map $0 xs)) #invention); normalize so the
-          // grammar can score it. Inventions are atomic and survive.
+          // grammar can score it. Inventions are atomic and survive. A
+          // null normal form (step budget exhausted) keeps the original
+          // beam entry.
           ExprPtr Normal = E.Program->betaNormalForm(512);
+          if (!Normal)
+            continue;
           if (Params.Verbose && Normal != Entries[I].Program && CI < 3)
-            std::fprintf(stderr, "    rewrite[%zu] %s => %s\n", CI,
-                         Entries[I].Program->show().c_str(),
-                         Normal->show().c_str());
-          if (Normal && Normal->inferType())
+            appendf(S.VerboseLog, "    rewrite[%zu] %s => %s\n", CI,
+                    Entries[I].Program->show().c_str(),
+                    Normal->show().c_str());
+          if (Normal->inferType())
             Entries[I].Program = Normal;
         }
       }
-      double Score = libraryScore(Extended, Rewritten, Params);
+      S.Score = libraryScore(S.Extended, S.Rewritten, InnerParams);
       obs::countAdd("compress.candidates_scored");
       if (Params.Verbose && CI < 12)
-        std::fprintf(stderr, "  cand[%zu] %-40s cover=%d score=%.2f%s\n", CI,
-                     C.Invention->show().c_str(), C.TasksCovered, Score,
-                     Score > Result.FinalScore ? " (+)" : "");
-      if (Score > BestScore) {
-        BestScore = Score;
+        appendf(S.VerboseLog, "  cand[%zu] %-40s cover=%d score=%.2f%s\n",
+                CI, C.Invention->show().c_str(), C.TasksCovered, S.Score,
+                S.Score > Result.FinalScore ? " (+)" : "");
+    });
+
+    // Deterministic reduction: best score, lowest candidate index on ties
+    // — exactly the order the serial loop visited candidates in.
+    double BestScore = Result.FinalScore;
+    int BestIdx = -1;
+    for (size_t CI = 0; CI < Scored.size(); ++CI) {
+      if (Params.Verbose && !Scored[CI].VerboseLog.empty())
+        std::fputs(Scored[CI].VerboseLog.c_str(), stderr);
+      if (Scored[CI].Score > BestScore) {
+        BestScore = Scored[CI].Score;
         BestIdx = static_cast<int>(CI);
-        BestFrontiers = std::move(Rewritten);
-        BestGrammar = std::move(Extended);
       }
     }
 
@@ -397,8 +510,8 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
       std::fprintf(stderr, "compression: +%s (score %.2f -> %.2f)\n",
                    Candidates[BestIdx].Invention->show().c_str(),
                    Result.FinalScore, BestScore);
-    Result.NewGrammar = std::move(BestGrammar);
-    Result.RewrittenFrontiers = std::move(BestFrontiers);
+    Result.NewGrammar = std::move(Scored[BestIdx].Extended);
+    Result.RewrittenFrontiers = std::move(Scored[BestIdx].Rewritten);
     Result.NewInventions.push_back(Candidates[BestIdx].Invention);
     Result.FinalScore = BestScore;
     obs::countAdd("compress.inventions_adopted");

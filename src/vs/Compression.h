@@ -45,6 +45,11 @@ struct CompressionParams {
   int MinimumTasksCovered = 2;
   /// Safety valve: skip version spaces larger than this many nodes.
   size_t MaxVersionNodes = 4000000;
+  /// Worker threads for the three compression fan-outs (per-frontier
+  /// β-closure shards, candidate scoring, likelihood summaries): 0 = one
+  /// per hardware core, 1 = serial, N = at most N. Results are
+  /// bit-identical at every setting (see DESIGN.md, threading model).
+  int NumThreads = 1;
   bool Verbose = false;
 };
 
@@ -70,6 +75,19 @@ CompressionResult compressLibrary(const Grammar &G,
 /// Exposed for tests and for the memorize/EC baselines.
 double libraryScore(Grammar &G, const std::vector<Frontier> &Frontiers,
                     const CompressionParams &Params = {});
+
+namespace detail {
+
+/// Rewrites \p Term so that free index Free[J] becomes the (K-J)-th
+/// innermost of K fresh enclosing lambdas, then wraps the lambdas — the
+/// "close the invention over its free variables" step of candidate
+/// proposal. Returns nullptr when some free index of \p Term is missing
+/// from \p Free (an incomplete closure set would otherwise silently
+/// miscapture the invention body); callers skip such candidates. Exposed
+/// for tests.
+ExprPtr closeOverFreeIndices(ExprPtr Term, const std::vector<int> &Free);
+
+} // namespace detail
 
 } // namespace dc
 

@@ -128,6 +128,47 @@ VsId VersionTable::incorporate(ExprPtr E) {
   return V;
 }
 
+VsId VersionTable::absorb(const VersionTable &Src, VsId Root,
+                          std::vector<VsId> &Memo) {
+  assert(Memo.size() == Src.size() && "memo must be sized to the source");
+  if (Memo[Root] >= 0)
+    return Memo[Root];
+  const VsNode &N = Src.Nodes[Root];
+  VsId Out = VoidId;
+  switch (N.Kind) {
+  case VsKind::Void:
+    Out = VoidId;
+    break;
+  case VsKind::Universe:
+    Out = UniverseId;
+    break;
+  case VsKind::Index:
+    Out = index(N.Index);
+    break;
+  case VsKind::Terminal:
+    Out = terminal(N.Leaf);
+    break;
+  case VsKind::Abstraction:
+    Out = abstraction(absorb(Src, N.Body, Memo));
+    break;
+  case VsKind::Application: {
+    VsId Fn = absorb(Src, N.Fn, Memo);
+    Out = apply(Fn, absorb(Src, N.Arg, Memo));
+    break;
+  }
+  case VsKind::Union: {
+    std::vector<VsId> Members;
+    Members.reserve(N.Members.size());
+    for (VsId M : N.Members)
+      Members.push_back(absorb(Src, M, Memo));
+    Out = unionOf(std::move(Members));
+    break;
+  }
+  }
+  Memo[Root] = Out;
+  return Out;
+}
+
 //===----------------------------------------------------------------------===//
 // Queries
 //===----------------------------------------------------------------------===//
@@ -257,7 +298,7 @@ double VersionTable::extensionSize(VsId V, double Cap) {
   return Result;
 }
 
-std::vector<VsId> VersionTable::reachable(VsId V) {
+std::vector<VsId> VersionTable::reachable(VsId V) const {
   std::vector<VsId> Stack = {V};
   std::vector<bool> Seen(Nodes.size(), false);
   std::vector<VsId> Out;
@@ -547,7 +588,7 @@ VsId VersionTable::betaClosure(ExprPtr E, int N) {
 
 Extraction VersionTable::extractMinimal(
     VsId V, VsId Candidate, ExprPtr CandidateExpr,
-    std::unordered_map<VsId, Extraction> &Cache) {
+    std::unordered_map<VsId, Extraction> &Cache) const {
   if (V == Candidate) {
     assert(CandidateExpr && "candidate requires its invention expression");
     return {1.0, CandidateExpr};
@@ -556,7 +597,8 @@ Extraction VersionTable::extractMinimal(
   if (It != Cache.end())
     return It->second;
 
-  const VsNode N = Nodes[V];
+  // Extraction never interns, so Nodes cannot reallocate underneath us.
+  const VsNode &N = Nodes[V];
   Extraction Result{Infinity, nullptr};
   switch (N.Kind) {
   case VsKind::Void:
@@ -597,14 +639,65 @@ Extraction VersionTable::extractMinimal(
   return Result;
 }
 
-ExprPtr VersionTable::extractCheapest(VsId V) {
+ExprPtr VersionTable::extractCheapest(VsId V) const {
   std::unordered_map<VsId, Extraction> Cache;
   return extractMinimal(V, -1, nullptr, Cache).Program;
 }
 
 ExprPtr VersionTable::extractCheapest(
-    VsId V, std::unordered_map<VsId, Extraction> &Cache) {
+    VsId V, std::unordered_map<VsId, Extraction> &Cache) const {
   return extractMinimal(V, -1, nullptr, Cache).Program;
+}
+
+Extraction VersionTable::extractLayered(
+    VsId V, const std::unordered_map<VsId, Extraction> &Shared,
+    std::unordered_map<VsId, Extraction> &Overlay) const {
+  auto SIt = Shared.find(V);
+  if (SIt != Shared.end())
+    return SIt->second;
+  auto OIt = Overlay.find(V);
+  if (OIt != Overlay.end())
+    return OIt->second;
+
+  const VsNode &N = Nodes[V];
+  Extraction Result{Infinity, nullptr};
+  switch (N.Kind) {
+  case VsKind::Void:
+  case VsKind::Universe:
+    break; // inextractable
+  case VsKind::Index:
+    Result = {1.0, Expr::index(N.Index)};
+    break;
+  case VsKind::Terminal:
+    Result = {1.0, N.Leaf};
+    break;
+  case VsKind::Abstraction: {
+    Extraction Body = extractLayered(N.Body, Shared, Overlay);
+    if (Body.Program)
+      Result = {EpsilonCost + Body.Cost, Expr::abstraction(Body.Program)};
+    break;
+  }
+  case VsKind::Application: {
+    Extraction Fn = extractLayered(N.Fn, Shared, Overlay);
+    if (!Fn.Program)
+      break;
+    Extraction Arg = extractLayered(N.Arg, Shared, Overlay);
+    if (!Arg.Program)
+      break;
+    Result = {EpsilonCost + Fn.Cost + Arg.Cost,
+              Expr::application(Fn.Program, Arg.Program)};
+    break;
+  }
+  case VsKind::Union:
+    for (VsId M : N.Members) {
+      Extraction E = extractLayered(M, Shared, Overlay);
+      if (E.Program && E.Cost < Result.Cost)
+        Result = E;
+    }
+    break;
+  }
+  Overlay.emplace(V, Result);
+  return Result;
 }
 
 std::vector<char> VersionTable::coneAbove(VsId Candidate) const {
@@ -640,10 +733,10 @@ std::vector<char> VersionTable::coneAbove(VsId Candidate) const {
 Extraction VersionTable::extractWithCandidate(
     VsId V, VsId Candidate, ExprPtr CandidateExpr,
     const std::vector<char> &Cone,
-    std::unordered_map<VsId, Extraction> &SharedCache,
-    std::unordered_map<VsId, Extraction> &OverlayCache) {
+    const std::unordered_map<VsId, Extraction> &SharedCache,
+    std::unordered_map<VsId, Extraction> &OverlayCache) const {
   if (!Cone[V])
-    return extractMinimal(V, -1, nullptr, SharedCache);
+    return extractLayered(V, SharedCache, OverlayCache);
   if (V == Candidate) {
     // The candidate itself extracts as the invention, but some sibling
     // member may still be cheaper elsewhere — cost 1 is already minimal.
@@ -653,7 +746,7 @@ Extraction VersionTable::extractWithCandidate(
   if (It != OverlayCache.end())
     return It->second;
 
-  const VsNode N = Nodes[V];
+  const VsNode &N = Nodes[V];
   Extraction Result{Infinity, nullptr};
   switch (N.Kind) {
   case VsKind::Void:
@@ -661,7 +754,7 @@ Extraction VersionTable::extractWithCandidate(
   case VsKind::Index:
   case VsKind::Terminal:
     // Leaves are never in a cone except the candidate itself.
-    Result = extractMinimal(V, -1, nullptr, SharedCache);
+    Result = extractLayered(V, SharedCache, OverlayCache);
     break;
   case VsKind::Abstraction: {
     Extraction Body = extractWithCandidate(N.Body, Candidate, CandidateExpr,

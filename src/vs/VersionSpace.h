@@ -86,6 +86,14 @@ public:
   /// Embeds a concrete program as the singleton version space {ρ}.
   VsId incorporate(ExprPtr E);
 
+  /// Structurally copies the DAG rooted at \p Root from \p Src into this
+  /// table (hash-consed as usual) and returns the corresponding id here.
+  /// \p Memo must be sized Src.size() and initialized to -1; reuse it
+  /// across roots of the same \p Src so shared structure is copied once.
+  /// This is how per-worker closure shards are folded into one master
+  /// table in deterministic frontier order (see vs/Compression.cpp).
+  VsId absorb(const VersionTable &Src, VsId Root, std::vector<VsId> &Memo);
+
   //===--------------------------------------------------------------------===//
   // Queries
   //===--------------------------------------------------------------------===//
@@ -101,7 +109,7 @@ public:
   double extensionSize(VsId V, double Cap = 1e30);
 
   /// Every node id reachable from \p V (including \p V).
-  std::vector<VsId> reachable(VsId V);
+  std::vector<VsId> reachable(VsId V) const;
 
   //===--------------------------------------------------------------------===//
   // Refactoring operators (paper Fig 5)
@@ -137,14 +145,23 @@ public:
   /// \p CandidateExpr (the freshly invented library routine). The memo
   /// \p Cache must be reused only for the same (Candidate, CandidateExpr).
   Extraction extractMinimal(VsId V, VsId Candidate, ExprPtr CandidateExpr,
-                            std::unordered_map<VsId, Extraction> &Cache);
+                            std::unordered_map<VsId, Extraction> &Cache) const;
 
   /// Convenience wrapper without a candidate.
-  ExprPtr extractCheapest(VsId V);
+  ExprPtr extractCheapest(VsId V) const;
 
   /// Like extractCheapest but reusing an external memo across calls (the
   /// candidate-proposal loop extracts thousands of spaces from one table).
-  ExprPtr extractCheapest(VsId V, std::unordered_map<VsId, Extraction> &Cache);
+  ExprPtr extractCheapest(VsId V,
+                          std::unordered_map<VsId, Extraction> &Cache) const;
+
+  /// Candidate-free extraction against a read-only shared memo: hits are
+  /// served from \p Shared, misses are computed and stored in \p Overlay
+  /// only. Safe to call concurrently from many threads as long as each has
+  /// its own \p Overlay and nobody mutates \p Shared or the table.
+  Extraction
+  extractLayered(VsId V, const std::unordered_map<VsId, Extraction> &Shared,
+                 std::unordered_map<VsId, Extraction> &Overlay) const;
 
   /// Marks every node from whose structure \p Candidate is reachable —
   /// the "cone" of nodes whose minimal extraction can change when the
@@ -152,13 +169,16 @@ public:
   std::vector<char> coneAbove(VsId Candidate) const;
 
   /// Candidate-aware extraction that only recomputes inside the cone;
-  /// nodes outside it reuse \p SharedCache (candidate-independent).
-  /// \p OverlayCache must be specific to (Candidate, CandidateExpr).
+  /// nodes outside it reuse \p SharedCache (candidate-independent,
+  /// read-only — misses land in \p OverlayCache instead, so many
+  /// candidates can be scored concurrently against one pre-warmed shared
+  /// cache). \p OverlayCache must be specific to (Candidate,
+  /// CandidateExpr).
   Extraction
   extractWithCandidate(VsId V, VsId Candidate, ExprPtr CandidateExpr,
                        const std::vector<char> &Cone,
-                       std::unordered_map<VsId, Extraction> &SharedCache,
-                       std::unordered_map<VsId, Extraction> &OverlayCache);
+                       const std::unordered_map<VsId, Extraction> &SharedCache,
+                       std::unordered_map<VsId, Extraction> &OverlayCache) const;
 
 private:
   VsId intern(VsNode N);

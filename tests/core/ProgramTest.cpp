@@ -106,6 +106,28 @@ TEST_F(ProgramTest, BetaReductionUnderBinders) {
   EXPECT_EQ(P->betaNormalForm()->show(), "(lambda $0)");
 }
 
+TEST_F(ProgramTest, BetaNormalFormNullWhenBudgetExhausted) {
+  // Ω = ((lambda ($0 $0)) (lambda ($0 $0))) reduces to itself forever; a
+  // bounded normalizer must report failure, not hand back a half-reduced
+  // term for callers to score or print.
+  ExprPtr Omega = parseProgram("((lambda ($0 $0)) (lambda ($0 $0)))");
+  ASSERT_NE(Omega, nullptr);
+  EXPECT_EQ(Omega->betaNormalForm(8), nullptr);
+
+  // A terminating chain of duplicating redexes: C_0 = 1 and
+  // C_n = ((lambda (+ $0 $0)) C_{n-1}) needs 2^n - 1 leftmost-outermost
+  // steps, so a too-small budget fails while a sufficient one converges.
+  std::string Src = "1";
+  for (int I = 0; I < 10; ++I)
+    Src = "((lambda (+ $0 $0)) " + Src + ")";
+  ExprPtr Chain = parseProgram(Src);
+  ASSERT_NE(Chain, nullptr);
+  EXPECT_EQ(Chain->betaNormalForm(512), nullptr);
+  ExprPtr Normal = Chain->betaNormalForm(2048);
+  ASSERT_NE(Normal, nullptr);
+  EXPECT_TRUE(Normal->isClosed());
+}
+
 TEST_F(ProgramTest, TypeInferenceSimple) {
   TypePtr T = parseProgram("(lambda (+ $0 1))")->inferType();
   ASSERT_NE(T, nullptr);

@@ -31,8 +31,63 @@ protected:
     return F;
   }
 
+  /// A corpus where several beams share the "double" idiom — enough
+  /// signal for compression to adopt at least one invention.
+  std::vector<Frontier> idiomCorpus() {
+    TypePtr Req = Type::arrow(tList(tInt()), tList(tInt()));
+    return {
+        solvedFrontier("double", "(lambda (map (lambda (+ $0 $0)) $0))",
+                       Req),
+        solvedFrontier("double-tail",
+                       "(lambda (map (lambda (+ $0 $0)) (cdr $0)))", Req),
+        solvedFrontier("double-head",
+                       "(lambda (cons (+ (car $0) (car $0)) nil))", Req),
+        solvedFrontier("quadruple",
+                       "(lambda (map (lambda (+ $0 $0)) "
+                       "(map (lambda (+ $0 $0)) $0)))",
+                       Req),
+        solvedFrontier("square", "(lambda (map (lambda (* $0 $0)) $0))",
+                       Req),
+        solvedFrontier("incr-all", "(lambda (map (lambda (+ $0 1)) $0))",
+                       Req),
+    };
+  }
+
   Grammar G;
 };
+
+/// Asserts two compression results are bit-identical: same inventions,
+/// same scores, same grammar (programs, types, weights), and the same
+/// rewritten beams entry for entry. Programs are hash-consed, so pointer
+/// equality is structural equality.
+void expectIdenticalResults(const CompressionResult &A,
+                            const CompressionResult &B,
+                            const std::string &Label) {
+  SCOPED_TRACE(Label);
+  ASSERT_EQ(A.NewInventions.size(), B.NewInventions.size());
+  for (size_t I = 0; I < A.NewInventions.size(); ++I)
+    EXPECT_EQ(A.NewInventions[I], B.NewInventions[I]);
+  EXPECT_EQ(A.InitialScore, B.InitialScore);
+  EXPECT_EQ(A.FinalScore, B.FinalScore);
+  const auto &PA = A.NewGrammar.productions();
+  const auto &PB = B.NewGrammar.productions();
+  ASSERT_EQ(PA.size(), PB.size());
+  for (size_t I = 0; I < PA.size(); ++I) {
+    EXPECT_EQ(PA[I].Program, PB[I].Program);
+    EXPECT_EQ(PA[I].LogWeight, PB[I].LogWeight);
+  }
+  ASSERT_EQ(A.RewrittenFrontiers.size(), B.RewrittenFrontiers.size());
+  for (size_t X = 0; X < A.RewrittenFrontiers.size(); ++X) {
+    const auto &EA = A.RewrittenFrontiers[X].entries();
+    const auto &EB = B.RewrittenFrontiers[X].entries();
+    ASSERT_EQ(EA.size(), EB.size());
+    for (size_t I = 0; I < EA.size(); ++I) {
+      EXPECT_EQ(EA[I].Program, EB[I].Program);
+      EXPECT_EQ(EA[I].LogPrior, EB[I].LogPrior);
+      EXPECT_EQ(EA[I].LogLikelihood, EB[I].LogLikelihood);
+    }
+  }
+}
 
 } // namespace
 
@@ -195,6 +250,126 @@ TEST_F(CompressionTest, EcBaselineOnlyProposesSubtrees) {
       if (Arg->isArrow())
         HigherOrder = true;
     EXPECT_FALSE(HigherOrder) << Inv->show();
+  }
+}
+
+TEST_F(CompressionTest, ResultsIdenticalAcrossThreads) {
+  // The determinism contract (DESIGN.md): compression is bit-identical at
+  // every thread count — same inventions, same θ, same rewritten beams,
+  // byte-for-byte equal scores. Shards merge in frontier order and the
+  // candidate argmax breaks ties toward the lowest index, so the parallel
+  // schedule can never leak into the result.
+  CompressionParams Params;
+  Params.StructurePenalty = 0.5;
+  Params.NumThreads = 1;
+  CompressionResult Serial = compressLibrary(G, idiomCorpus(), Params);
+  ASSERT_FALSE(Serial.NewInventions.empty())
+      << "corpus must be rich enough to exercise adoption";
+  for (int Threads : {4, 8}) {
+    Params.NumThreads = Threads;
+    CompressionResult Parallel = compressLibrary(G, idiomCorpus(), Params);
+    expectIdenticalResults(Serial, Parallel,
+                           "threads=" + std::to_string(Threads));
+  }
+}
+
+TEST_F(CompressionTest, VerboseSurvivesNormalizationBudgetExhaustion) {
+  // Regression: a beam whose program needs more than the 512-step rewrite
+  // budget makes betaNormalForm return null mid-scoring; with Verbose on,
+  // the old code printed Normal->show() before the null check and
+  // dereferenced nullptr. The buster is a chain of duplicating redexes,
+  // C_n = ((lambda (+ $0 $0)) C_{n-1}), needing 2^n - 1 > 512 steps.
+  // The buster's duplicating body (* $0 $0) must not be shared with any
+  // other task: a shared idiom would become the adopted invention, whose
+  // rewrite replaces the duplicating redexes with single-use invention
+  // calls — and the chain would then normalize in 12 steps. Drop the
+  // "square" frontier so every candidate leaves the buster un-rewritten
+  // and scoring must survive its unnormalizable original.
+  std::vector<Frontier> Fs = idiomCorpus();
+  Fs.erase(Fs.begin() + 4); // "square", the only other (* $0 $0) user
+  std::string Buster = "1";
+  for (int I = 0; I < 12; ++I)
+    Buster = "((lambda (* $0 $0)) " + Buster + ")";
+  Fs.push_back(solvedFrontier("buster", Buster, tInt()));
+  ExprPtr Original = Fs.back().best()->Program;
+
+  CompressionParams Params;
+  Params.StructurePenalty = 0.5;
+  Params.Verbose = true; // the crash path was verbose-only
+  CompressionResult R = compressLibrary(G, Fs, Params);
+  ASSERT_FALSE(R.NewInventions.empty());
+  // The un-normalizable beam entry must never be replaced by a
+  // half-reduced term: either it survives untouched or (being a raw
+  // redex outside the grammar's support) the final rescore drops it.
+  if (!R.RewrittenFrontiers.back().empty())
+    EXPECT_EQ(R.RewrittenFrontiers.back().best()->Program, Original);
+}
+
+TEST_F(CompressionTest, CloseOverFreeIndicesRejectsIncompleteSets) {
+  // Regression: with an incomplete closure set the old code hit
+  // assert(false) in Debug but silently returned the raw index in
+  // Release, miscapturing the invention body. The contract is now a null
+  // return in every build mode.
+  ExprPtr Term = parseProgram("(+ $0 $1)");
+  ASSERT_NE(Term, nullptr);
+  EXPECT_EQ(detail::closeOverFreeIndices(Term, {0}), nullptr);
+  EXPECT_EQ(detail::closeOverFreeIndices(Term, {1}), nullptr);
+  EXPECT_EQ(detail::closeOverFreeIndices(Term, {}), nullptr);
+
+  // The complete set closes the term: $0 binds to the innermost lambda,
+  // $1 to the outermost.
+  ExprPtr Closed = detail::closeOverFreeIndices(Term, {0, 1});
+  ASSERT_NE(Closed, nullptr);
+  EXPECT_TRUE(Closed->isClosed());
+  EXPECT_EQ(Closed, parseProgram("(lambda (lambda (+ $1 $0)))"));
+
+  // Deeper free indices under a binder are renumbered, not leaked.
+  ExprPtr Under = parseProgram("(lambda (+ $0 $2))");
+  ASSERT_NE(Under, nullptr);
+  EXPECT_EQ(detail::closeOverFreeIndices(Under, {0}), nullptr);
+  ExprPtr ClosedUnder = detail::closeOverFreeIndices(Under, {1});
+  ASSERT_NE(ClosedUnder, nullptr);
+  EXPECT_TRUE(ClosedUnder->isClosed());
+}
+
+TEST_F(CompressionTest, OverflowDegradeNeverLeaksPartialClosures) {
+  // Regression: when even the shallowest inversion depth overflows the
+  // node cap, the old loop could exit with partially built closures whose
+  // short rows were then indexed out of bounds by candidate scoring. The
+  // hardened loop abandons the round, so compression degrades to a clean
+  // pass-through: same grammar, same beams, no inventions.
+  std::vector<Frontier> Fs = idiomCorpus();
+  for (size_t Cap : {size_t(1), size_t(8)}) {
+    SCOPED_TRACE("cap=" + std::to_string(Cap));
+    for (int Steps : {0, 3}) {
+      CompressionParams Params;
+      Params.RefactorSteps = Steps;
+      Params.MaxVersionNodes = Cap;
+      CompressionResult R = compressLibrary(G, Fs, Params);
+      EXPECT_TRUE(R.NewInventions.empty());
+      ASSERT_EQ(R.RewrittenFrontiers.size(), Fs.size());
+      for (size_t X = 0; X < Fs.size(); ++X) {
+        ASSERT_EQ(R.RewrittenFrontiers[X].entries().size(),
+                  Fs[X].entries().size());
+        for (size_t I = 0; I < Fs[X].entries().size(); ++I)
+          EXPECT_EQ(R.RewrittenFrontiers[X].entries()[I].Program,
+                    Fs[X].entries()[I].Program);
+      }
+    }
+  }
+  // Caps large enough for shallow inversion depths but (possibly) not
+  // n=3 exercise the degrade ladder's surviving levels: closures must
+  // still be complete (the in-loop assert) and the result well formed.
+  for (size_t Cap : {size_t(40), size_t(3000)}) {
+    SCOPED_TRACE("degrade cap=" + std::to_string(Cap));
+    CompressionParams Params;
+    Params.StructurePenalty = 0.5;
+    Params.MaxVersionNodes = Cap;
+    CompressionResult R = compressLibrary(G, Fs, Params);
+    ASSERT_EQ(R.RewrittenFrontiers.size(), Fs.size());
+    for (size_t X = 0; X < Fs.size(); ++X)
+      ASSERT_EQ(R.RewrittenFrontiers[X].entries().size(),
+                Fs[X].entries().size());
   }
 }
 

@@ -43,6 +43,7 @@ void usage(const char *Argv0) {
       "          [--threads N] [--checkpoint PATH] [--resume PATH]\n"
       "          [--metrics-out PATH] [--trace-out PATH] [--verbose]\n"
       "--threads: 0 = one per core (default), 1 = serial, N = at most N;\n"
+      "           covers wake search, compression sleep, and dreaming —\n"
       "           results are identical at every setting\n"
       "--metrics-out: write counters/gauges/histograms as JSON after the\n"
       "               run (enables telemetry; results are unchanged)\n"

@@ -2,6 +2,7 @@
 
 #include "core/Recognition.h"
 
+#include "core/ThreadPool.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -53,9 +54,13 @@ int RecognitionModel::slotIndex(int ParentIdx, int ArgIdx) const {
 
 double RecognitionModel::exampleLossAndGrad(const std::vector<float> &Features,
                                             const TypePtr &Request,
-                                            ExprPtr Program) {
-  std::vector<float> Logits = Net.forward(Features);
-  std::vector<float> DLogits(Logits.size(), 0.0f);
+                                            ExprPtr Program,
+                                            nn::Workspace &WS,
+                                            nn::Gradients &G,
+                                            float GradScale) const {
+  const std::vector<float> &Logits = Net.forward(Features, WS);
+  std::vector<float> &DLogits = WS.Scratch;
+  DLogits.assign(Logits.size(), 0.0f);
   double Loss = 0;
   int Decisions = 0;
 
@@ -94,7 +99,10 @@ double RecognitionModel::exampleLossAndGrad(const std::vector<float> &Features,
   if (!Ok || Decisions == 0)
     return 0.0; // outside support: contribute nothing
 
-  Net.backward(DLogits);
+  if (GradScale != 1.0f)
+    for (float &D : DLogits)
+      D *= GradScale;
+  Net.backward(DLogits, WS, G);
   return Loss; // total cross-entropy over this program's decisions
 }
 
@@ -102,37 +110,92 @@ void RecognitionModel::trainOnPairs(const std::vector<Fantasy> &Pairs) {
   if (Pairs.empty())
     return;
   obs::ScopedSpan Span("recognition.sgd");
-  // Pre-featurize (featurization is deterministic and reusable).
-  std::vector<std::vector<float>> Features;
-  Features.reserve(Pairs.size());
-  for (const Fantasy &P : Pairs)
-    Features.push_back(Featurizer.featurize(*P.T));
+  // Pre-featurize (featurization is deterministic per task, so the
+  // fan-out is index-addressed and order-free).
+  std::vector<std::vector<float>> Features(Pairs.size());
+  parallelFor(Params.NumThreads, Pairs.size(), [&](size_t I) {
+    Features[I] = Featurizer.featurize(*Pairs[I].T);
+  });
 
   nn::Adam Optimizer(Net, Params.LearningRate);
   std::uniform_int_distribution<size_t> Pick(0, Pairs.size() - 1);
+  const int Batch = std::max(1, Params.BatchSize);
+  const int Steps = (std::max(1, Params.TrainingSteps) + Batch - 1) / Batch;
+  const float Scale = 1.0f / static_cast<float>(Batch);
+
+  // Per-example slots, reused across steps: each minibatch example gets a
+  // private workspace + gradient buffer, and the buffers are reduced in
+  // example order below, so the summed gradient (and hence every weight)
+  // is a pure function of the seed — never of the thread count.
+  std::vector<nn::Workspace> Workspaces(Batch);
+  std::vector<nn::Gradients> Grads;
+  Grads.reserve(Batch);
+  for (int J = 0; J < Batch; ++J)
+    Grads.emplace_back(Net);
+  nn::Gradients BatchGrad(Net);
+  std::vector<size_t> Picked(Batch);
+  std::vector<double> Losses(Batch);
+
   double RunningLoss = 0;
   long Counted = 0;
-  // Telemetry is write-only: step timings feed a histogram, never the
-  // training loop itself.
+  // Telemetry is write-only: step/worker timings feed histograms and the
+  // utilization counters, never the training loop itself.
   const bool TimeSteps = obs::Telemetry::enabled();
-  for (int Step = 0; Step < Params.TrainingSteps; ++Step) {
-    int64_t T0 = TimeSteps ? obs::Tracer::global().nowMicros() : 0;
-    size_t I = Pick(Rng);
-    double L = exampleLossAndGrad(Features[I], Pairs[I].T->request(),
-                                  Pairs[I].Program);
-    Optimizer.step();
-    RunningLoss += L;
-    ++Counted;
+  const int64_t TrainStart =
+      TimeSteps ? obs::Tracer::global().nowMicros() : 0;
+  for (int Step = 0; Step < Steps; ++Step) {
+    obs::ScopedSpan StepSpan("recognition.train.step");
+    // The example draws stay on the caller's RNG stream, in step order.
+    for (int J = 0; J < Batch; ++J)
+      Picked[J] = Pick(Rng);
+    int64_t GradStart = TimeSteps ? obs::Tracer::global().nowMicros() : 0;
+    parallelFor(Params.NumThreads, static_cast<size_t>(Batch),
+                [&](size_t J) {
+                  int64_t T0 = TimeSteps
+                                   ? obs::Tracer::global().nowMicros()
+                                   : 0;
+                  Grads[J].zero();
+                  const Fantasy &P = Pairs[Picked[J]];
+                  Losses[J] = exampleLossAndGrad(
+                      Features[Picked[J]], P.T->request(), P.Program,
+                      Workspaces[J], Grads[J], Scale);
+                  if (TimeSteps) {
+                    int64_t Dur =
+                        obs::Tracer::global().nowMicros() - T0;
+                    obs::observe("recognition.grad_micros",
+                                 static_cast<double>(Dur));
+                    obs::countAdd("recognition.grad_busy_micros", Dur);
+                  }
+                });
+    int64_t ReduceStart = 0;
+    if (TimeSteps) {
+      ReduceStart = obs::Tracer::global().nowMicros();
+      obs::countAdd("recognition.grad_wall_micros",
+                    ReduceStart - GradStart);
+    }
+    // Deterministic reduction: example-index order, always.
+    for (int J = 0; J < Batch; ++J) {
+      BatchGrad.add(Grads[J]);
+      RunningLoss += Losses[J];
+      ++Counted;
+    }
+    Optimizer.step(BatchGrad); // applies the update and zeroes BatchGrad
     if (TimeSteps)
-      obs::observe("recognition.step_micros",
+      obs::observe("recognition.reduce_micros",
                    static_cast<double>(obs::Tracer::global().nowMicros() -
-                                       T0));
+                                       ReduceStart));
   }
   LastLoss = Counted ? RunningLoss / static_cast<double>(Counted) : 0;
   if (obs::Telemetry::enabled()) {
-    obs::countAdd("recognition.gradient_steps", Counted);
+    obs::countAdd("recognition.gradient_steps", Steps);
+    obs::countAdd("recognition.examples_presented", Counted);
     obs::countAdd("recognition.training_pairs",
                   static_cast<long>(Pairs.size()));
+    obs::countAdd("recognition.train_micros",
+                  obs::Tracer::global().nowMicros() - TrainStart);
+    obs::gaugeSet("recognition.batch_size", Batch);
+    obs::gaugeSet("recognition.threads",
+                  ThreadPool::resolveThreadCount(Params.NumThreads));
     obs::gaugeSet("recognition.last_loss", LastLoss);
   }
 }
@@ -203,14 +266,18 @@ void RecognitionModel::fillGrammarWeights(const std::vector<float> &Logits,
 }
 
 ContextualGrammar RecognitionModel::predict(const Task &T) const {
-  std::vector<float> Logits = Net.forward(Featurizer.featurize(T));
+  nn::Workspace WS; // per-call activations: concurrent predicts never share
+  const std::vector<float> &Logits =
+      Net.forward(Featurizer.featurize(T), WS);
   ContextualGrammar CG(Base);
   fillGrammarWeights(Logits, CG);
   return CG;
 }
 
 Grammar RecognitionModel::predictUnigram(const Task &T) const {
-  std::vector<float> Logits = Net.forward(Featurizer.featurize(T));
+  nn::Workspace WS;
+  const std::vector<float> &Logits =
+      Net.forward(Featurizer.featurize(T), WS);
   Grammar G = Base;
   int BaseIdx = slotIndex(ParentStart, 0) * NumChildren;
   for (size_t I = 0; I < G.productions().size(); ++I)
@@ -221,4 +288,17 @@ Grammar RecognitionModel::predictUnigram(const Task &T) const {
                    std::clamp(Logits[BaseIdx + NumChildren - 1],
                               -Params.LogitClamp, Params.LogitClamp));
   return G;
+}
+
+std::uint64_t RecognitionModel::weightFingerprint() const {
+  std::uint64_t H = 1469598103934665603ULL; // FNV offset basis
+  for (const nn::Mlp::ConstParamSegment &Seg : Net.parameterSegments()) {
+    const unsigned char *Bytes =
+        reinterpret_cast<const unsigned char *>(Seg.Param);
+    for (size_t I = 0; I < Seg.Size * sizeof(float); ++I) {
+      H ^= Bytes[I];
+      H *= 1099511628211ULL; // FNV prime
+    }
+  }
+  return H;
 }

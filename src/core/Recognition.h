@@ -19,7 +19,13 @@
 ///     as in EC2)
 ///
 /// Training data is replays (solved frontiers) plus fantasies (programs
-/// sampled from the generative model, executed to produce tasks).
+/// sampled from the generative model, executed to produce tasks). Training
+/// is minibatched: each optimizer step accumulates per-example gradients
+/// (data-parallel across the shared thread pool, reduced in fixed example
+/// order so trained weights are bit-identical at every thread count) and
+/// applies one Adam update on the batch mean. predict() is const and
+/// thread-safe — the MLP's activations live in per-call workspaces, never
+/// in the net.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -32,22 +38,32 @@
 #include "nn/Layers.h"
 #include "nn/Optimizer.h"
 
+#include <cstdint>
+
 namespace dc {
 
 /// Dream-phase training configuration.
 struct RecognitionParams {
   int HiddenDim = 64;
+  /// Total example presentations per train() call; the number of Adam
+  /// steps is ceil(TrainingSteps / BatchSize), so the gradient work is
+  /// independent of the batch size.
   int TrainingSteps = 3000;
+  /// Examples per optimizer step (EC2-style minibatch accumulation); the
+  /// update uses the batch-mean gradient.
+  int BatchSize = 8;
   float LearningRate = 5e-3f;
   int FantasyCount = 150;       ///< dreams per training cycle
   bool Bigram = true;           ///< bigram vs unigram parameterization
   bool MapObjective = true;     ///< L^MAP vs L^post
   float LogitClamp = 6.0f;      ///< predicted weights live in ±clamp
   unsigned Seed = 0;
-  /// Worker threads for fantasy sampling (0 = per-core, 1 = serial,
-  /// N = at most N). The fantasy set is identical at every setting;
-  /// gradient steps themselves stay single-threaded (the MLP caches
-  /// activations in forward()).
+  /// Worker threads for the dream phase: fantasy sampling, pre-
+  /// featurization, and per-example gradient computation all fan out over
+  /// the shared pool (0 = per-core, 1 = serial, N = at most N). Trained
+  /// weights, lastLoss(), and the fantasy set are bit-identical at every
+  /// setting: gradients accumulate into per-example buffers reduced in
+  /// fixed example order before each Adam step.
   int NumThreads = 1;
 };
 
@@ -71,12 +87,25 @@ public:
   /// Trains from explicit (task, program) pairs (tests, Fig 6).
   void trainOnPairs(const std::vector<Fantasy> &Pairs);
 
-  /// Task-conditioned bigram grammar for enumeration.
+  /// Task-conditioned bigram grammar for enumeration. Thread-safe: any
+  /// number of threads may predict concurrently (forward runs against a
+  /// local workspace, the net is read-only here).
   ContextualGrammar predict(const Task &T) const;
 
   /// Unigram variant (only meaningful with Bigram = false, but always
-  /// available: it reads the start slot).
+  /// available: it reads the start slot). Thread-safe like predict().
   Grammar predictUnigram(const Task &T) const;
+
+  /// Cross-entropy loss + gradient for one (task, program) pair against
+  /// the current weights: accumulates parameter gradients scaled by
+  /// \p GradScale into \p G and returns the (unscaled) loss. Reentrant —
+  /// this is the unit of work the training loop fans out, one
+  /// (Workspace, Gradients) per concurrent caller. Public for gradient
+  /// checks and benchmarks.
+  double exampleLossAndGrad(const std::vector<float> &Features,
+                            const TypePtr &Request, ExprPtr Program,
+                            nn::Workspace &WS, nn::Gradients &G,
+                            float GradScale = 1.0f) const;
 
   /// Average training loss of the most recent train() call (diagnostics).
   double lastLoss() const { return LastLoss; }
@@ -84,12 +113,18 @@ public:
   int slotCount() const { return NumSlots; }
   int childCount() const { return NumChildren; }
 
+  /// FNV-1a hash over the raw parameter bytes — the bit-identity gate
+  /// used by determinism tests and bench_recognition_parallel.
+  std::uint64_t weightFingerprint() const;
+
+  /// The underlying net (tests and benchmarks: gradient checks, weight
+  /// perturbation). Mutating weights invalidates nothing — predictions
+  /// simply reflect the new parameters.
+  nn::Mlp &net() { return Net; }
+  const nn::Mlp &net() const { return Net; }
+
 private:
   int slotIndex(int ParentIdx, int ArgIdx) const;
-  /// Cross-entropy loss + gradient for one (task, program) pair; returns
-  /// the loss, accumulating parameter gradients.
-  double exampleLossAndGrad(const std::vector<float> &Features,
-                            const TypePtr &Request, ExprPtr Program);
   void fillGrammarWeights(const std::vector<float> &Logits,
                           ContextualGrammar &CG) const;
 
@@ -100,7 +135,7 @@ private:
   int NumSlots = 0;
   int NumChildren = 0; ///< productions + 1 (variable pseudo-child)
   std::vector<int> SlotOffset; ///< per parent (start, var, productions...)
-  mutable nn::Mlp Net;
+  nn::Mlp Net;
   std::mt19937 Rng;
   double LastLoss = 0;
 };

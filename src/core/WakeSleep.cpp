@@ -130,16 +130,11 @@ std::vector<Frontier> hybridSolve(const Grammar &G,
   Half.NodeBudget = std::max<long>(1, Search.NodeBudget / 2);
   const size_t N = Tasks.size();
 
-  // Predictions stay on this thread: the MLP caches layer activations
-  // inside forward(), so one net must never serve two threads at once.
-  std::vector<ContextualGrammar> Guides;
-  Guides.reserve(N);
-  for (const TaskPtr &T : Tasks)
-    Guides.push_back(Model.predict(*T));
-
-  // Guided searches are independent per task; each worker writes only
-  // its own Out/Locals/GuidedEffort slot, and stats are merged in task
-  // order below so worker completion order never shows.
+  // Guided searches are independent per task; each worker predicts its
+  // own guide (predict() is const and thread-safe — activations live in a
+  // per-call workspace) and writes only its own Out/Locals/GuidedEffort
+  // slot. Stats are merged in task order below so worker completion order
+  // never shows.
   std::vector<Frontier> Out;
   Out.reserve(N);
   for (const TaskPtr &T : Tasks)
@@ -147,7 +142,8 @@ std::vector<Frontier> hybridSolve(const Grammar &G,
   std::vector<EnumerationStats> Locals(N);
   std::vector<long> GuidedEffort(N, -1);
   parallelFor(Search.NumThreads, N, [&](size_t I) {
-    Out[I] = solveTask(Guides[I], Tasks[I], Half, &Locals[I]);
+    ContextualGrammar Guide = Model.predict(*Tasks[I]);
+    Out[I] = solveTask(Guide, Tasks[I], Half, &Locals[I]);
     GuidedEffort[I] = Locals[I].EffortToSolve.empty()
                           ? -1
                           : Locals[I].EffortToSolve.front();

@@ -1,4 +1,4 @@
-//===- nn/Layers.cpp - MLP layers with manual backprop --------------------===//
+//===- nn/Layers.cpp - Reentrant MLP layers with manual backprop ----------===//
 
 #include "nn/Layers.h"
 
@@ -7,66 +7,119 @@
 using namespace dc;
 using namespace dc::nn;
 
-std::vector<float> Linear::forward(const std::vector<float> &X) {
-  LastInput = X;
-  std::vector<float> Y = W.matvec(X);
+namespace {
+
+void tanhInto(const std::vector<float> &X, std::vector<float> &Y) {
+  Y.resize(X.size());
+  for (size_t I = 0; I < X.size(); ++I)
+    Y[I] = std::tanh(X[I]);
+}
+
+/// DX = DY ⊙ (1 - A²) where A = tanh activations. In-place (DX == DY) is
+/// fine: each element reads only its own index.
+void tanhBackwardInto(const std::vector<float> &DY,
+                      const std::vector<float> &A, std::vector<float> &DX) {
+  DX.resize(DY.size());
+  for (size_t I = 0; I < DY.size(); ++I)
+    DX[I] = DY[I] * (1.0f - A[I] * A[I]);
+}
+
+} // namespace
+
+void Linear::forward(const std::vector<float> &X,
+                     std::vector<float> &Y) const {
+  W.matvecInto(X, Y);
   for (size_t I = 0; I < Y.size(); ++I)
     Y[I] += B[I];
-  return Y;
 }
 
-std::vector<float> Linear::backward(const std::vector<float> &DY) {
-  DW.addOuter(DY, LastInput);
+void Linear::backward(const std::vector<float> &DY,
+                      const std::vector<float> &X, Matrix &DW,
+                      std::vector<float> &DB, std::vector<float> &DX) const {
+  DW.addOuter(DY, X);
   for (size_t I = 0; I < DB.size(); ++I)
     DB[I] += DY[I];
-  return W.matvecTransposed(DY);
+  W.matvecTransposedInto(DY, DX);
 }
 
-void Linear::zeroGrad() {
-  DW.fill(0.0f);
-  std::fill(DB.begin(), DB.end(), 0.0f);
+const std::vector<float> &Mlp::forward(const std::vector<float> &X,
+                                       Workspace &WS) const {
+  // The input is copied so backward() has L1's x without pinning the
+  // caller's buffer; activations are computed in place over the tanh
+  // pre-activations (the pre-activation values are not needed again).
+  WS.In = X;
+  L1.forward(WS.In, WS.A1);
+  tanhInto(WS.A1, WS.A1);
+  L2.forward(WS.A1, WS.A2);
+  tanhInto(WS.A2, WS.A2);
+  L3.forward(WS.A2, WS.Logits);
+  return WS.Logits;
 }
 
-std::vector<float> Tanh::forward(const std::vector<float> &X) {
-  LastOutput.resize(X.size());
-  for (size_t I = 0; I < X.size(); ++I)
-    LastOutput[I] = std::tanh(X[I]);
-  return LastOutput;
-}
-
-std::vector<float> Tanh::backward(const std::vector<float> &DY) {
-  std::vector<float> DX(DY.size());
-  for (size_t I = 0; I < DY.size(); ++I)
-    DX[I] = DY[I] * (1.0f - LastOutput[I] * LastOutput[I]);
-  return DX;
-}
-
-std::vector<float> Mlp::forward(const std::vector<float> &X) {
-  return L3.forward(A2.forward(L2.forward(A1.forward(L1.forward(X)))));
-}
-
-void Mlp::backward(const std::vector<float> &DLogits) {
-  L1.backward(A1.backward(L2.backward(A2.backward(L3.backward(DLogits)))));
-}
-
-void Mlp::zeroGrad() {
-  L1.zeroGrad();
-  L2.zeroGrad();
-  L3.zeroGrad();
+void Mlp::backward(const std::vector<float> &DLogits, Workspace &WS,
+                   Gradients &G) const {
+  L3.backward(DLogits, WS.A2, G.DW3, G.DB3, WS.D2);
+  tanhBackwardInto(WS.D2, WS.A2, WS.D2);
+  L2.backward(WS.D2, WS.A1, G.DW2, G.DB2, WS.D1);
+  tanhBackwardInto(WS.D1, WS.A1, WS.D1);
+  L1.backward(WS.D1, WS.In, G.DW1, G.DB1, WS.D0);
 }
 
 std::vector<Mlp::ParamSegment> Mlp::parameterSegments() {
   std::vector<ParamSegment> Out;
   for (Linear *L : {&L1, &L2, &L3}) {
-    Out.push_back({L->W.data(), L->DW.data(), L->W.size()});
-    Out.push_back({L->B.data(), L->DB.data(), L->B.size()});
+    Out.push_back({L->W.data(), L->W.size()});
+    Out.push_back({L->B.data(), L->B.size()});
   }
   return Out;
 }
 
-size_t Mlp::parameterCount() {
+std::vector<Mlp::ConstParamSegment> Mlp::parameterSegments() const {
+  std::vector<ConstParamSegment> Out;
+  for (const Linear *L : {&L1, &L2, &L3}) {
+    Out.push_back({L->W.data(), L->W.size()});
+    Out.push_back({L->B.data(), L->B.size()});
+  }
+  return Out;
+}
+
+size_t Mlp::parameterCount() const {
   size_t N = 0;
-  for (Linear *L : {&L1, &L2, &L3})
+  for (const Linear *L : {&L1, &L2, &L3})
     N += L->W.size() + L->B.size();
   return N;
+}
+
+Gradients::Gradients(const Mlp &Net)
+    : DW1(Net.L1.outDim(), Net.L1.inDim()),
+      DW2(Net.L2.outDim(), Net.L2.inDim()),
+      DW3(Net.L3.outDim(), Net.L3.inDim()), DB1(Net.L1.B.size(), 0.0f),
+      DB2(Net.L2.B.size(), 0.0f), DB3(Net.L3.B.size(), 0.0f) {}
+
+void Gradients::zero() {
+  DW1.fill(0.0f);
+  DW2.fill(0.0f);
+  DW3.fill(0.0f);
+  std::fill(DB1.begin(), DB1.end(), 0.0f);
+  std::fill(DB2.begin(), DB2.end(), 0.0f);
+  std::fill(DB3.begin(), DB3.end(), 0.0f);
+}
+
+void Gradients::add(const Gradients &Other) {
+  auto AddBlock = [](float *Dst, const float *Src, size_t N) {
+    for (size_t I = 0; I < N; ++I)
+      Dst[I] += Src[I];
+  };
+  AddBlock(DW1.data(), Other.DW1.data(), DW1.size());
+  AddBlock(DW2.data(), Other.DW2.data(), DW2.size());
+  AddBlock(DW3.data(), Other.DW3.data(), DW3.size());
+  AddBlock(DB1.data(), Other.DB1.data(), DB1.size());
+  AddBlock(DB2.data(), Other.DB2.data(), DB2.size());
+  AddBlock(DB3.data(), Other.DB3.data(), DB3.size());
+}
+
+std::vector<Gradients::Segment> Gradients::segments() {
+  return {{DW1.data(), DW1.size()}, {DB1.data(), DB1.size()},
+          {DW2.data(), DW2.size()}, {DB2.data(), DB2.size()},
+          {DW3.data(), DW3.size()}, {DB3.data(), DB3.size()}};
 }

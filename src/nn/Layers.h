@@ -1,4 +1,4 @@
-//===- nn/Layers.h - MLP layers with manual backprop ----------------------===//
+//===- nn/Layers.h - Reentrant MLP layers with manual backprop ------------===//
 //
 // Part of the DreamCoder C++ reproduction.
 //
@@ -6,10 +6,15 @@
 ///
 /// \file
 /// A two-hidden-layer perceptron with tanh activations — the recognition
-/// model's trunk. Layers cache their forward activations, so the usual
-/// forward / backward / step cycle applies. Batch size is 1 (tasks are
-/// featurized individually); gradients accumulate until the optimizer
-/// steps.
+/// model's trunk. The net itself holds only parameters; all per-call state
+/// (layer activations, backward scratch) lives in an explicit Workspace and
+/// all gradient accumulation in an explicit Gradients buffer, both owned by
+/// the caller. forward() and backward() are therefore const and reentrant:
+/// any number of threads may drive one shared net concurrently as long as
+/// each brings its own Workspace/Gradients (see DESIGN.md, threading
+/// model). Batch size is 1 (tasks are featurized individually); minibatch
+/// training accumulates per-example Gradients and reduces them in a fixed
+/// order before the optimizer steps.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,38 +26,78 @@
 namespace dc {
 namespace nn {
 
-/// Fully connected layer y = Wx + b with gradient accumulation.
+class Mlp;
+
+/// Per-call activation record and backward scratch for one Mlp
+/// forward/backward pair. Buffers are sized lazily on first use and reused
+/// across calls — including calls against differently-shaped nets; every
+/// forward() overwrites the full record, so no stale activations can leak
+/// between calls (tested in NnTest.WorkspaceReuse*). One Workspace must
+/// never be shared by two threads at once.
+class Workspace {
+public:
+  /// Caller-owned scratch for the loss gradient dL/dlogits (sized and
+  /// filled by the loss code, consumed by Mlp::backward callers). Lives
+  /// here so per-thread training loops allocate it once, not per example.
+  std::vector<float> Scratch;
+
+private:
+  friend class Mlp;
+  std::vector<float> In;     ///< copy of the forward input (L1's x)
+  std::vector<float> A1, A2; ///< tanh activations after L1 / L2
+  std::vector<float> Logits; ///< L3 output
+  std::vector<float> D2, D1, D0; ///< backward dL/d(activation) scratch
+};
+
+/// Parameter-shaped gradient accumulator, detached from the net so many
+/// workers can accumulate privately and be reduced in a deterministic
+/// order. Segment layout mirrors Mlp::parameterSegments().
+class Gradients {
+public:
+  Gradients() = default;
+  /// Zero gradients shaped like \p Net's parameters.
+  explicit Gradients(const Mlp &Net);
+
+  void zero();
+  /// this += Other, elementwise. Reductions over a minibatch must add
+  /// buffers in a fixed slice order so results are bit-identical at every
+  /// thread count.
+  void add(const Gradients &Other);
+
+  /// One contiguous gradient block; order matches
+  /// Mlp::parameterSegments().
+  struct Segment {
+    float *Grad;
+    size_t Size;
+  };
+  std::vector<Segment> segments();
+
+  Matrix DW1, DW2, DW3;
+  std::vector<float> DB1, DB2, DB3;
+};
+
+/// Fully connected layer y = Wx + b. Holds parameters only; forward writes
+/// into a caller buffer and backward accumulates into caller-owned DW/DB.
 class Linear {
 public:
   Linear() = default;
   Linear(int InDim, int OutDim, std::mt19937 &Rng)
-      : W(Matrix::glorot(OutDim, InDim, Rng)), DW(OutDim, InDim),
-        B(OutDim, 0.0f), DB(OutDim, 0.0f) {}
+      : W(Matrix::glorot(OutDim, InDim, Rng)), B(OutDim, 0.0f) {}
 
   int inDim() const { return W.cols(); }
   int outDim() const { return W.rows(); }
 
-  std::vector<float> forward(const std::vector<float> &X);
-  /// Returns dL/dX and accumulates dL/dW, dL/dB.
-  std::vector<float> backward(const std::vector<float> &DY);
+  /// Y = Wx + b. \p Y must not alias \p X.
+  void forward(const std::vector<float> &X, std::vector<float> &Y) const;
+  /// Accumulates dL/dW into \p DW, dL/dB into \p DB, and writes dL/dX
+  /// into \p DX, given \p DY = dL/dY and the \p X this layer saw in
+  /// forward. \p DX must not alias \p DY.
+  void backward(const std::vector<float> &DY, const std::vector<float> &X,
+                Matrix &DW, std::vector<float> &DB,
+                std::vector<float> &DX) const;
 
-  void zeroGrad();
-
-  Matrix W, DW;
-  std::vector<float> B, DB;
-
-private:
-  std::vector<float> LastInput;
-};
-
-/// Elementwise tanh.
-class Tanh {
-public:
-  std::vector<float> forward(const std::vector<float> &X);
-  std::vector<float> backward(const std::vector<float> &DY);
-
-private:
-  std::vector<float> LastOutput;
+  Matrix W;
+  std::vector<float> B;
 };
 
 /// Input → Linear → tanh → Linear → tanh → Linear → logits.
@@ -65,25 +110,33 @@ public:
 
   int outDim() const { return L3.outDim(); }
 
-  std::vector<float> forward(const std::vector<float> &X);
-  void backward(const std::vector<float> &DLogits);
-  void zeroGrad();
+  /// Records activations in \p WS and returns a view of the logits (valid
+  /// until the next forward through the same Workspace). Reentrant: safe
+  /// to call concurrently with distinct Workspaces.
+  const std::vector<float> &forward(const std::vector<float> &X,
+                                    Workspace &WS) const;
+  /// Backpropagates \p DLogits through the activations the immediately
+  /// preceding forward() left in \p WS, accumulating into \p G.
+  void backward(const std::vector<float> &DLogits, Workspace &WS,
+                Gradients &G) const;
 
-  /// One contiguous parameter block and its gradient block.
+  /// One contiguous parameter block.
   struct ParamSegment {
     float *Param;
-    float *Grad;
+    size_t Size;
+  };
+  struct ConstParamSegment {
+    const float *Param;
     size_t Size;
   };
 
-  /// Flat views over parameters and their gradients, for the optimizer.
+  /// Flat views over the parameters, for the optimizer (order: W1 B1 W2
+  /// B2 W3 B3, matching Gradients::segments()).
   std::vector<ParamSegment> parameterSegments();
-  size_t parameterCount();
+  std::vector<ConstParamSegment> parameterSegments() const;
+  size_t parameterCount() const;
 
   Linear L1, L2, L3;
-
-private:
-  Tanh A1, A2;
 };
 
 } // namespace nn

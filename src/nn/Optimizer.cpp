@@ -2,6 +2,7 @@
 
 #include "nn/Optimizer.h"
 
+#include <cassert>
 #include <cmath>
 
 using namespace dc;
@@ -16,22 +17,27 @@ Adam::Adam(Mlp &Net, float LearningRate, float Beta1, float Beta2,
   }
 }
 
-void Adam::step() {
+void Adam::step(Gradients &G) {
   ++T;
   float Correction1 = 1.0f - std::pow(B1, static_cast<float>(T));
   float Correction2 = 1.0f - std::pow(B2, static_cast<float>(T));
   auto Segments = Net.parameterSegments();
+  auto GradSegments = G.segments();
+  assert(Segments.size() == GradSegments.size() &&
+         "gradient buffer shape mismatch");
   for (size_t S = 0; S < Segments.size(); ++S) {
+    assert(Segments[S].Size == GradSegments[S].Size &&
+           "gradient segment size mismatch");
     float *P = Segments[S].Param;
-    float *G = Segments[S].Grad;
+    const float *Grad = GradSegments[S].Grad;
     for (size_t I = 0; I < Segments[S].Size; ++I) {
-      float Grad = G[I];
-      M[S][I] = B1 * M[S][I] + (1.0f - B1) * Grad;
-      V[S][I] = B2 * V[S][I] + (1.0f - B2) * Grad * Grad;
+      float Gi = Grad[I];
+      M[S][I] = B1 * M[S][I] + (1.0f - B1) * Gi;
+      V[S][I] = B2 * V[S][I] + (1.0f - B2) * Gi * Gi;
       float MHat = M[S][I] / Correction1;
       float VHat = V[S][I] / Correction2;
       P[I] -= Lr * MHat / (std::sqrt(VHat) + Eps);
     }
   }
-  Net.zeroGrad();
+  G.zero();
 }

@@ -6,7 +6,9 @@
 ///
 /// \file
 /// Adam (Kingma & Ba 2014), the optimizer the paper uses for recognition
-/// model training (Appendix I). Operates over the MLP's parameter segments.
+/// model training (Appendix I). Applies updates from an external Gradients
+/// buffer (nn/Layers.h) so gradient accumulation can be data-parallel; the
+/// step itself is serial and order-defining.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,8 +26,10 @@ public:
   explicit Adam(Mlp &Net, float LearningRate = 1e-2f, float Beta1 = 0.9f,
                 float Beta2 = 0.999f, float Epsilon = 1e-8f);
 
-  /// Applies one update from the accumulated gradients, then clears them.
-  void step();
+  /// Applies one update from the gradients accumulated in \p G, then
+  /// zeroes \p G. \p G must be shaped like the net this Adam was built
+  /// for.
+  void step(Gradients &G);
 
   float learningRate() const { return Lr; }
   void setLearningRate(float L) { Lr = L; }

@@ -18,8 +18,16 @@ Matrix Matrix::glorot(int Rows, int Cols, std::mt19937 &Rng) {
 }
 
 std::vector<float> Matrix::matvec(const std::vector<float> &X) const {
+  std::vector<float> Y;
+  matvecInto(X, Y);
+  return Y;
+}
+
+void Matrix::matvecInto(const std::vector<float> &X,
+                        std::vector<float> &Y) const {
   assert(static_cast<int>(X.size()) == C && "matvec dimension mismatch");
-  std::vector<float> Y(R, 0.0f);
+  assert(&X != &Y && "matvecInto buffers must not alias");
+  Y.resize(R);
   for (int I = 0; I < R; ++I) {
     const float *Row = Data.data() + I * C;
     float Acc = 0;
@@ -27,20 +35,26 @@ std::vector<float> Matrix::matvec(const std::vector<float> &X) const {
       Acc += Row[J] * X[J];
     Y[I] = Acc;
   }
-  return Y;
 }
 
 std::vector<float> Matrix::matvecTransposed(const std::vector<float> &X)
     const {
+  std::vector<float> Y;
+  matvecTransposedInto(X, Y);
+  return Y;
+}
+
+void Matrix::matvecTransposedInto(const std::vector<float> &X,
+                                  std::vector<float> &Y) const {
   assert(static_cast<int>(X.size()) == R && "matvecT dimension mismatch");
-  std::vector<float> Y(C, 0.0f);
+  assert(&X != &Y && "matvecTransposedInto buffers must not alias");
+  Y.assign(C, 0.0f);
   for (int I = 0; I < R; ++I) {
     const float *Row = Data.data() + I * C;
     float Xi = X[I];
     for (int J = 0; J < C; ++J)
       Y[J] += Row[J] * Xi;
   }
-  return Y;
 }
 
 void Matrix::addOuter(const std::vector<float> &A, const std::vector<float> &B,

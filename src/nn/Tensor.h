@@ -58,6 +58,15 @@ public:
   /// y = thisᵀ · x. x.size() must equal rows().
   std::vector<float> matvecTransposed(const std::vector<float> &X) const;
 
+  /// matvec into a caller-owned buffer (resized to rows()); no allocation
+  /// when \p Y already has capacity. \p Y must not alias \p X.
+  void matvecInto(const std::vector<float> &X, std::vector<float> &Y) const;
+
+  /// matvecTransposed into a caller-owned buffer (resized to cols()).
+  /// \p Y must not alias \p X.
+  void matvecTransposedInto(const std::vector<float> &X,
+                            std::vector<float> &Y) const;
+
   /// this += Scale · (A ⊗ B) — rank-one update used for weight gradients.
   void addOuter(const std::vector<float> &A, const std::vector<float> &B,
                 float Scale = 1.0f);

@@ -334,15 +334,33 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
         obs::Telemetry::enabled() ? obs::Tracer::global().begin() : 0;
 
     // Count, for each version-space node, how many tasks' refactorings
-    // contain it.
+    // contain it. Frontiers fan out in chunks: each worker accumulates a
+    // chunk-private count vector (reachable() is a const read), and the
+    // partials fold in chunk order. Integer sums commute exactly, so the
+    // totals are identical at every thread count by construction.
     std::vector<int> TasksCovering(VT.size(), 0);
-    for (size_t X = 0; X < Closures.size(); ++X) {
-      std::vector<char> InThisTask(VT.size(), 0);
-      for (VsId Root : Closures[X])
-        for (VsId V : VT.reachable(Root))
-          InThisTask[V] = 1;
-      for (size_t V = 0; V < InThisTask.size(); ++V)
-        TasksCovering[V] += InThisTask[V];
+    {
+      const size_t CoverChunk = 64;
+      const size_t NumChunks =
+          (Closures.size() + CoverChunk - 1) / CoverChunk;
+      std::vector<std::vector<int>> Partials(NumChunks);
+      parallelFor(Params.NumThreads, NumChunks, [&](size_t CK) {
+        std::vector<int> &Counts = Partials[CK];
+        Counts.assign(VT.size(), 0);
+        std::vector<char> InThisTask(VT.size(), 0);
+        size_t End = std::min(Closures.size(), (CK + 1) * CoverChunk);
+        for (size_t X = CK * CoverChunk; X < End; ++X) {
+          std::fill(InThisTask.begin(), InThisTask.end(), 0);
+          for (VsId Root : Closures[X])
+            for (VsId V : VT.reachable(Root))
+              InThisTask[V] = 1;
+          for (size_t V = 0; V < InThisTask.size(); ++V)
+            Counts[V] += InThisTask[V];
+        }
+      });
+      for (const std::vector<int> &Counts : Partials)
+        for (size_t V = 0; V < Counts.size(); ++V)
+          TasksCovering[V] += Counts[V];
     }
 
     // Rank candidate spaces by coverage, then validate the top ones. Ties
@@ -361,49 +379,90 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
 
     // One candidate-independent extraction cache shared by the proposal
     // scan and by out-of-cone nodes during per-candidate rewriting.
+    // Pre-warming it on every closure root up front makes it strictly
+    // read-only for everything that follows: proposal workers and scoring
+    // workers alike layer private overlays on top of it.
     std::unordered_map<VsId, Extraction> SharedCache;
+    {
+      obs::ScopedSpan PrewarmSpan("compress.prewarm");
+      for (size_t X = 0; X < Closures.size(); ++X)
+        for (VsId Root : Closures[X])
+          VT.extractCheapest(Root, SharedCache);
+    }
+
+    // Validate the ranked spaces into concrete proposals. The pure,
+    // expensive part (extraction + β-normalization + free-variable
+    // closure) fans out per ranked space; admission — body dedup,
+    // anchoring via incorporate() (which mutates the table), and the
+    // MaxCandidates cut — replays serially in rank order, so the
+    // surviving candidate list is exactly the serial scan's. Chunking
+    // bounds the wasted fan-out after the cut to one chunk.
+    struct Proposal {
+      ExprPtr Term;          ///< normalized open term (null = rejected)
+      ExprPtr Body;          ///< λ-closed invention body
+      std::vector<int> Free; ///< free indices the body was closed over
+    };
     std::vector<Candidate> Candidates;
     std::set<ExprPtr> SeenBodies;
-    for (const auto &[Count, V] : Ranked) {
-      (void)Count;
-      if (static_cast<int>(Candidates.size()) >= Params.MaxCandidates)
-        break;
-      ExprPtr Term = VT.extractCheapest(V, SharedCache);
-      if (!Term)
-        continue;
-      // Normalize the invention (the OCaml system's normalize_invention):
-      // extracted members are refactorings and often carry β-redexes. A
-      // null return means the budget ran out mid-reduction — drop the
-      // candidate rather than anchor on a half-reduced term.
-      Term = Term->betaNormalForm(128);
-      if (!Term)
-        continue;
-      // The term may be open — λ-abstract its free variables into the
-      // invention and apply the invention back to them at rewrite sites.
-      std::set<int> FreeSet;
-      collectFreeIndices(Term, 0, FreeSet);
-      if (FreeSet.size() > 2)
-        continue; // cap invention arity growth from free variables
-      std::vector<int> Free(FreeSet.begin(), FreeSet.end());
-      ExprPtr Body =
-          Free.empty() ? Term : detail::closeOverFreeIndices(Term, Free);
-      if (!isUsefulInventionBody(Body, Result.NewGrammar))
-        continue;
-      if (!SeenBodies.insert(Body).second)
-        continue; // distinct spaces can extract identical bodies
-      // Rewrites fire where the candidate node itself appears; anchor the
-      // candidate at the hash-consed singleton of the normalized (open)
-      // term, which every closure position exposing the idiom shares.
-      VsId Anchor = VT.incorporate(Term);
-      if (Anchor >= static_cast<VsId>(TasksCovering.size()) ||
-          TasksCovering[Anchor] < Params.MinimumTasksCovered)
-        continue; // the normal form itself is not exposed often enough
-      ExprPtr Invention = Expr::invented(Body);
-      ExprPtr Rewrite = Invention;
-      for (int I : Free)
-        Rewrite = Expr::application(Rewrite, Expr::index(I));
-      Candidates.push_back({Anchor, Invention, Rewrite,
-                            TasksCovering[Anchor]});
+    const size_t ScanChunk = std::max<size_t>(
+        32, 4 * static_cast<size_t>(
+                    ThreadPool::resolveThreadCount(Params.NumThreads)));
+    for (size_t ChunkStart = 0;
+         ChunkStart < Ranked.size() &&
+         static_cast<int>(Candidates.size()) < Params.MaxCandidates;
+         ChunkStart += ScanChunk) {
+      size_t ChunkEnd = std::min(Ranked.size(), ChunkStart + ScanChunk);
+      std::vector<Proposal> Proposals(ChunkEnd - ChunkStart);
+      parallelFor(Params.NumThreads, ChunkEnd - ChunkStart, [&](size_t K) {
+        VsId V = Ranked[ChunkStart + K].second;
+        std::unordered_map<VsId, Extraction> Overlay;
+        ExprPtr Term = VT.extractLayered(V, SharedCache, Overlay).Program;
+        if (!Term)
+          return;
+        // Normalize the invention (the OCaml system's
+        // normalize_invention): extracted members are refactorings and
+        // often carry β-redexes. A null return means the budget ran out
+        // mid-reduction — drop the candidate rather than anchor on a
+        // half-reduced term.
+        Term = Term->betaNormalForm(128);
+        if (!Term)
+          return;
+        // The term may be open — λ-abstract its free variables into the
+        // invention and apply the invention back to them at rewrite
+        // sites.
+        std::set<int> FreeSet;
+        collectFreeIndices(Term, 0, FreeSet);
+        if (FreeSet.size() > 2)
+          return; // cap invention arity growth from free variables
+        std::vector<int> Free(FreeSet.begin(), FreeSet.end());
+        ExprPtr Body =
+            Free.empty() ? Term : detail::closeOverFreeIndices(Term, Free);
+        if (!isUsefulInventionBody(Body, Result.NewGrammar))
+          return;
+        Proposals[K] = {Term, Body, std::move(Free)};
+      });
+      for (Proposal &P : Proposals) {
+        if (static_cast<int>(Candidates.size()) >= Params.MaxCandidates)
+          break;
+        if (!P.Term)
+          continue;
+        if (!SeenBodies.insert(P.Body).second)
+          continue; // distinct spaces can extract identical bodies
+        // Rewrites fire where the candidate node itself appears; anchor
+        // the candidate at the hash-consed singleton of the normalized
+        // (open) term, which every closure position exposing the idiom
+        // shares.
+        VsId Anchor = VT.incorporate(P.Term);
+        if (Anchor >= static_cast<VsId>(TasksCovering.size()) ||
+            TasksCovering[Anchor] < Params.MinimumTasksCovered)
+          continue; // the normal form itself is not exposed often enough
+        ExprPtr Invention = Expr::invented(P.Body);
+        ExprPtr Rewrite = Invention;
+        for (int I : P.Free)
+          Rewrite = Expr::application(Rewrite, Expr::index(I));
+        Candidates.push_back({Anchor, Invention, Rewrite,
+                              TasksCovering[Anchor]});
+      }
     }
     if (Params.Verbose)
       std::fprintf(stderr,
@@ -422,17 +481,6 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
     }
     if (Candidates.empty())
       break;
-
-    // Pre-warm the shared extraction cache on every closure root so the
-    // concurrent scoring workers below find (almost) all out-of-cone nodes
-    // already memoized; the shared cache is strictly read-only from here
-    // on, and residual misses land in per-candidate overlays.
-    {
-      obs::ScopedSpan PrewarmSpan("compress.prewarm");
-      for (size_t X = 0; X < Closures.size(); ++X)
-        for (VsId Root : Closures[X])
-          VT.extractCheapest(Root, SharedCache);
-    }
     obs::ScopedSpan ScoreSpan("compress.score");
 
     // Score each candidate by rewriting all beams under D ∪ {invention}.

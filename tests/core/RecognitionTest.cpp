@@ -8,6 +8,8 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+
 using namespace dc;
 
 namespace {
@@ -130,6 +132,142 @@ TEST_F(RecognitionTest, TrainHandlesEmptyReplays) {
   std::vector<TaskPtr> Seeds = {intTask("seed", [](long X) { return X; })};
   Model.train({}, Seeds); // fantasies only
   SUCCEED();
+}
+
+TEST_F(RecognitionTest, ParallelTrainingIsBitIdentical) {
+  // The determinism contract: trained weights and lastLoss() are a pure
+  // function of the seed, never of NumThreads. Gradients reduce in
+  // example order before each Adam step, so 1, 4, and 8 threads must
+  // produce bit-for-bit identical nets.
+  std::vector<Fantasy> Pairs;
+  TaskPtr T1 = intTask("inc", [](long X) { return X + 1; });
+  TaskPtr T2 = intTask("dec", [](long X) { return X - 1; });
+  TaskPtr T3 = intTask("dbl", [](long X) { return X + X; });
+  Pairs.push_back({T1, parseProgram("(lambda (+ $0 1))"), -3.0});
+  Pairs.push_back({T2, parseProgram("(lambda (- $0 1))"), -3.0});
+  Pairs.push_back({T3, parseProgram("(lambda (+ $0 $0))"), -3.0});
+
+  auto TrainAt = [&](int Threads) {
+    RecognitionParams RP;
+    RP.TrainingSteps = 400;
+    RP.Seed = 17;
+    RP.NumThreads = Threads;
+    RecognitionModel Model(G, Featurizer, RP);
+    Model.trainOnPairs(Pairs);
+    return std::make_pair(Model.weightFingerprint(), Model.lastLoss());
+  };
+  auto [Fp1, Loss1] = TrainAt(1);
+  auto [Fp4, Loss4] = TrainAt(4);
+  auto [Fp8, Loss8] = TrainAt(8);
+  EXPECT_EQ(Fp1, Fp4);
+  EXPECT_EQ(Fp1, Fp8);
+  EXPECT_EQ(Loss1, Loss4); // exact: same reduction order bit-for-bit
+  EXPECT_EQ(Loss1, Loss8);
+}
+
+TEST_F(RecognitionTest, ConcurrentPredictReturnsIdenticalGrammars) {
+  // predict() is const and reentrant: eight threads sharing one trained
+  // model must each get exactly the serial answer. Run under TSan in CI
+  // — this is the regression test for the old mutable-Net data race.
+  RecognitionParams RP;
+  RP.TrainingSteps = 200;
+  RP.Seed = 5;
+  RecognitionModel Model(G, Featurizer, RP);
+  TaskPtr Inc = intTask("inc", [](long X) { return X + 1; });
+  Model.trainOnPairs({{Inc, parseProgram("(lambda (+ $0 1))"), -3.0}});
+
+  auto Signature = [&](const ContextualGrammar &CG) {
+    std::vector<float> Sig;
+    auto AddSlot = [&](const Grammar &Slot) {
+      for (const Production &P : Slot.productions())
+        Sig.push_back(P.LogWeight);
+      Sig.push_back(static_cast<float>(Slot.logVariable()));
+    };
+    AddSlot(CG.slot(ParentStart, 0));
+    for (size_t P = 0; P < CG.productions().size(); ++P)
+      AddSlot(CG.slot(static_cast<int>(P), 0));
+    return Sig;
+  };
+  std::vector<float> Serial = Signature(Model.predict(*Inc));
+
+  constexpr int NumThreads = 8;
+  std::vector<std::vector<float>> Observed(NumThreads);
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&, T] {
+      for (int Round = 0; Round < 10; ++Round)
+        Observed[T] = Signature(Model.predict(*Inc));
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int T = 0; T < NumThreads; ++T)
+    EXPECT_EQ(Observed[T], Serial) << "thread " << T << " diverged";
+}
+
+TEST_F(RecognitionTest, ExampleGradMatchesFiniteDifference) {
+  // Central-difference check of the full pipeline (forward → masked
+  // log-softmax over each decision's support → backward) on a tiny
+  // bigram net.
+  RecognitionParams RP;
+  RP.HiddenDim = 8;
+  RP.Seed = 23;
+  RecognitionModel Model(G, Featurizer, RP);
+  TaskPtr T = intTask("inc", [](long X) { return X + 1; });
+  ExprPtr Program = parseProgram("(lambda (+ $0 1))");
+  std::vector<float> Features = Featurizer.featurize(*T);
+  TypePtr Req = T->request();
+
+  nn::Workspace WS;
+  nn::Gradients Grad(Model.net());
+  double Loss = Model.exampleLossAndGrad(Features, Req, Program, WS, Grad);
+  ASSERT_GT(Loss, 0.0) << "program must be in the grammar's support";
+
+  auto Segments = Model.net().parameterSegments();
+  auto GradSegments = Grad.segments();
+  ASSERT_EQ(Segments.size(), GradSegments.size());
+  const float H = 1e-2f;
+  int Checked = 0;
+  for (size_t S = 0; S < Segments.size(); ++S) {
+    // Spot-check a few parameters per segment; a full sweep is O(P²).
+    for (size_t I = 0; I < Segments[S].Size;
+         I += std::max<size_t>(1, Segments[S].Size / 3)) {
+      float P0 = Segments[S].Param[I];
+      nn::Workspace ScratchWS;
+      nn::Gradients ScratchG(Model.net());
+      Segments[S].Param[I] = P0 + H;
+      double Up = Model.exampleLossAndGrad(Features, Req, Program,
+                                           ScratchWS, ScratchG);
+      Segments[S].Param[I] = P0 - H;
+      double Down = Model.exampleLossAndGrad(Features, Req, Program,
+                                             ScratchWS, ScratchG);
+      Segments[S].Param[I] = P0;
+      double Numeric = (Up - Down) / (2.0 * H);
+      EXPECT_NEAR(GradSegments[S].Grad[I], Numeric, 2e-2)
+          << "segment " << S << " param " << I;
+      ++Checked;
+    }
+  }
+  EXPECT_GE(Checked, 12);
+}
+
+TEST_F(RecognitionTest, GradScaleScalesGradients) {
+  RecognitionParams RP;
+  RP.HiddenDim = 8;
+  RP.Seed = 29;
+  RecognitionModel Model(G, Featurizer, RP);
+  TaskPtr T = intTask("inc", [](long X) { return X + 1; });
+  ExprPtr Program = parseProgram("(lambda (+ $0 1))");
+  std::vector<float> Features = Featurizer.featurize(*T);
+
+  nn::Workspace WS;
+  nn::Gradients Full(Model.net()), Quarter(Model.net());
+  double L1 = Model.exampleLossAndGrad(Features, T->request(), Program, WS,
+                                       Full, 1.0f);
+  double L2 = Model.exampleLossAndGrad(Features, T->request(), Program, WS,
+                                       Quarter, 0.25f);
+  EXPECT_DOUBLE_EQ(L1, L2) << "returned loss is unscaled";
+  for (size_t I = 0; I < Full.DW3.size(); ++I)
+    EXPECT_NEAR(Quarter.DW3.data()[I], 0.25f * Full.DW3.data()[I], 1e-6);
 }
 
 TEST_F(RecognitionTest, FeaturizerDistinguishesTaskFamilies) {

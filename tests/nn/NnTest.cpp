@@ -28,6 +28,23 @@ TEST(Matrix, MatvecBasics) {
   EXPECT_FLOAT_EQ(Z[2], 5);
 }
 
+TEST(Matrix, MatvecIntoReusesBuffer) {
+  Matrix M(2, 3);
+  M.at(0, 0) = 1;
+  M.at(1, 2) = 4;
+  std::vector<float> Y = {9, 9, 9, 9, 9}; // wrong size, stale contents
+  M.matvecInto({1, 1, 1}, Y);
+  ASSERT_EQ(Y.size(), 2u);
+  EXPECT_FLOAT_EQ(Y[0], 1);
+  EXPECT_FLOAT_EQ(Y[1], 4);
+  std::vector<float> Z = {7}; // too small, must grow and zero
+  M.matvecTransposedInto({1, 2}, Z);
+  ASSERT_EQ(Z.size(), 3u);
+  EXPECT_FLOAT_EQ(Z[0], 1);
+  EXPECT_FLOAT_EQ(Z[1], 0);
+  EXPECT_FLOAT_EQ(Z[2], 8);
+}
+
 TEST(Matrix, AddOuter) {
   Matrix M(2, 2);
   M.addOuter({1, 2}, {3, 4}, 0.5f);
@@ -62,15 +79,16 @@ TEST(Linear, GradientMatchesFiniteDifference) {
   std::vector<float> X = {0.5f, -1.0f, 2.0f, 0.1f};
   // Loss = sum of outputs; dL/dy = ones.
   auto Loss = [&] {
-    std::vector<float> Y = L.forward(X);
+    std::vector<float> Y;
+    L.forward(X, Y);
     float S = 0;
     for (float V : Y)
       S += V;
     return S;
   };
-  Loss();
-  L.zeroGrad();
-  L.backward({1, 1, 1});
+  Matrix DW(3, 4);
+  std::vector<float> DB(3, 0.0f), DX;
+  L.backward({1, 1, 1}, X, DW, DB, DX);
   const float H = 1e-3f;
   float W0 = L.W.at(1, 2);
   float Before = Loss();
@@ -78,20 +96,23 @@ TEST(Linear, GradientMatchesFiniteDifference) {
   float After = Loss();
   L.W.at(1, 2) = W0;
   float Numeric = (After - Before) / H;
-  EXPECT_NEAR(L.DW.at(1, 2), Numeric, 1e-2);
+  EXPECT_NEAR(DW.at(1, 2), Numeric, 1e-2);
+  EXPECT_FLOAT_EQ(DB[1], 1.0f);
+  ASSERT_EQ(DX.size(), X.size());
 }
 
 TEST(Mlp, GradientMatchesFiniteDifference) {
   std::mt19937 Rng(5);
   Mlp Net(3, 8, 2, Rng);
   std::vector<float> X = {0.2f, -0.7f, 1.1f};
+  Workspace WS;
   auto Loss = [&] {
-    std::vector<float> Y = Net.forward(X);
+    const std::vector<float> &Y = Net.forward(X, WS);
     return Y[0] * Y[0] + 0.5f * Y[1];
   };
-  std::vector<float> Y = Net.forward(X);
-  Net.zeroGrad();
-  Net.backward({2 * Y[0], 0.5f});
+  const std::vector<float> &Y = Net.forward(X, WS);
+  Gradients G(Net);
+  Net.backward({2 * Y[0], 0.5f}, WS, G);
 
   float P0 = Net.L1.W.at(2, 1);
   const float H = 1e-3f;
@@ -100,23 +121,98 @@ TEST(Mlp, GradientMatchesFiniteDifference) {
   float After = Loss();
   Net.L1.W.at(2, 1) = P0;
   float Numeric = (After - Before) / H;
-  EXPECT_NEAR(Net.L1.DW.at(2, 1), Numeric, 5e-2);
+  EXPECT_NEAR(G.DW1.at(2, 1), Numeric, 5e-2);
+}
+
+TEST(Mlp, WorkspaceReuseAcrossShapes) {
+  // One workspace driven through two differently-shaped nets: every
+  // buffer must be fully overwritten per call, so the small-net pass
+  // after the large-net pass sees no stale activations.
+  std::mt19937 Rng(11);
+  Mlp Big(6, 16, 4, Rng);
+  Mlp Small(2, 4, 3, Rng);
+  Workspace Shared, Fresh;
+  std::vector<float> BigX = {1, -1, 0.5f, 2, -0.25f, 0.75f};
+  std::vector<float> SmallX = {0.3f, -0.9f};
+
+  Big.forward(BigX, Shared); // pollute with the larger shapes
+  Gradients GBig(Big);
+  Big.backward({1, 1, 1, 1}, Shared, GBig);
+
+  const std::vector<float> &Reused = Small.forward(SmallX, Shared);
+  const std::vector<float> &Clean = Small.forward(SmallX, Fresh);
+  ASSERT_EQ(Reused.size(), Clean.size());
+  for (size_t I = 0; I < Reused.size(); ++I)
+    EXPECT_FLOAT_EQ(Reused[I], Clean[I]) << "stale activation at " << I;
+
+  Gradients GReused(Small), GFresh(Small);
+  Small.backward({1, -2, 0.5f}, Shared, GReused);
+  Small.backward({1, -2, 0.5f}, Fresh, GFresh);
+  ASSERT_EQ(GReused.DW1.size(), GFresh.DW1.size());
+  for (size_t I = 0; I < GFresh.DW1.size(); ++I)
+    EXPECT_FLOAT_EQ(GReused.DW1.data()[I], GFresh.DW1.data()[I]);
+  for (size_t I = 0; I < GFresh.DB3.size(); ++I)
+    EXPECT_FLOAT_EQ(GReused.DB3[I], GFresh.DB3[I]);
+}
+
+TEST(Mlp, ForwardIsConstAndRepeatable) {
+  std::mt19937 Rng(13);
+  const Mlp Net(3, 8, 2, Rng); // const: forward must not touch the net
+  Workspace A, B;
+  std::vector<float> X = {0.1f, 0.2f, 0.3f};
+  std::vector<float> First = Net.forward(X, A);
+  Net.forward({-5, -5, -5}, A); // unrelated call through the same WS
+  std::vector<float> Second = Net.forward(X, A);
+  std::vector<float> Third = Net.forward(X, B);
+  for (size_t I = 0; I < First.size(); ++I) {
+    EXPECT_FLOAT_EQ(First[I], Second[I]);
+    EXPECT_FLOAT_EQ(First[I], Third[I]);
+  }
+}
+
+TEST(Gradients, AccumulateAndReduce) {
+  std::mt19937 Rng(7);
+  Mlp Net(2, 4, 2, Rng);
+  Workspace WS;
+  Net.forward({1.0f, -1.0f}, WS);
+  Gradients A(Net), B(Net);
+  Net.backward({1.0f, 0.0f}, WS, A);
+  Net.forward({0.5f, 2.0f}, WS);
+  Net.backward({0.0f, 1.0f}, WS, B);
+
+  Gradients Sum(Net);
+  Sum.add(A);
+  Sum.add(B);
+  for (size_t I = 0; I < Sum.DW1.size(); ++I)
+    EXPECT_FLOAT_EQ(Sum.DW1.data()[I],
+                    A.DW1.data()[I] + B.DW1.data()[I]);
+  Sum.zero();
+  for (size_t I = 0; I < Sum.DW1.size(); ++I)
+    EXPECT_FLOAT_EQ(Sum.DW1.data()[I], 0.0f);
+
+  size_t Total = 0;
+  for (const Gradients::Segment &Seg : A.segments())
+    Total += Seg.Size;
+  EXPECT_EQ(Total, Net.parameterCount())
+      << "gradient segments must mirror the parameter layout";
 }
 
 TEST(Adam, LearnsALinearMap) {
   std::mt19937 Rng(9);
   Mlp Net(2, 16, 1, Rng);
   Adam Opt(Net, 1e-2f);
+  Workspace WS;
+  Gradients G(Net);
   // Target: y = 2a - b.
   std::uniform_real_distribution<float> U(-1, 1);
   double FinalLoss = 0;
   for (int Step = 0; Step < 3000; ++Step) {
     float A = U(Rng), B = U(Rng);
     float Target = 2 * A - B;
-    std::vector<float> Y = Net.forward({A, B});
+    const std::vector<float> &Y = Net.forward({A, B}, WS);
     float Err = Y[0] - Target;
-    Net.backward({2 * Err});
-    Opt.step();
+    Net.backward({2 * Err}, WS, G);
+    Opt.step(G); // applies the update and zeroes G
     FinalLoss = Err * Err;
   }
   EXPECT_LT(FinalLoss, 0.05);

@@ -235,6 +235,26 @@ int main(int Argc, char **Argv) {
                  Reg.counterCount(), Reg.gaugeCount(),
                  Reg.histogramCount(), obs::Tracer::global().eventCount(),
                  Reg.counter("wake.nodes_expanded").value());
+    double DreamSeconds = 0;
+    for (const CycleMetrics &M : R.Cycles)
+      DreamSeconds += Reg.gauge("wakesleep.cycle." +
+                                std::to_string(M.Cycle) +
+                                ".dreaming_seconds")
+                          .value();
+    long GradBusy = Reg.counter("recognition.grad_busy_micros").value();
+    long GradWall = Reg.counter("recognition.grad_wall_micros").value();
+    double GradThreads = Reg.gauge("recognition.threads").value();
+    std::fprintf(stderr,
+                 "telemetry: dream phase %.2fs wall; recognition "
+                 "gradient workers busy %.2fs over %.2fs parallel wall",
+                 DreamSeconds, static_cast<double>(GradBusy) / 1e6,
+                 static_cast<double>(GradWall) / 1e6);
+    if (GradWall > 0 && GradThreads > 0)
+      std::fprintf(stderr, " (%.0f%% utilization at %.0f threads)",
+                   100.0 * static_cast<double>(GradBusy) /
+                       (static_cast<double>(GradWall) * GradThreads),
+                   GradThreads);
+    std::fprintf(stderr, "\n");
   }
   if (!MetricsPath.empty()) {
     std::ofstream Out(MetricsPath);

@@ -423,6 +423,37 @@ int Expr::inventionDepth() const {
   return 0;
 }
 
+int dc::exprCompare(ExprPtr A, ExprPtr B) {
+  // Hash-consing makes structural equality pointer equality, so the
+  // expensive recursion only runs on genuinely different terms.
+  if (A == B)
+    return 0;
+  if (!A || !B)
+    return A ? 1 : -1; // null sorts first
+  if (A->kind() != B->kind())
+    return static_cast<int>(A->kind()) < static_cast<int>(B->kind()) ? -1
+                                                                     : 1;
+  switch (A->kind()) {
+  case ExprKind::Index:
+    return A->index() < B->index() ? -1 : 1; // equal indices are interned
+  case ExprKind::Primitive: {
+    if (int C = A->name().compare(B->name()))
+      return C < 0 ? -1 : 1;
+    // Same name, different interned node: distinct declared types. Types
+    // are canonical, so their rendering is a content-stable key.
+    return A->declaredType()->show() < B->declaredType()->show() ? -1 : 1;
+  }
+  case ExprKind::Invented:
+  case ExprKind::Abstraction:
+    return exprCompare(A->body(), B->body());
+  case ExprKind::Application:
+    if (int C = exprCompare(A->fn(), B->fn()))
+      return C;
+    return exprCompare(A->arg(), B->arg());
+  }
+  return 0;
+}
+
 std::pair<ExprPtr, std::vector<ExprPtr>> dc::applicationSpine(ExprPtr E) {
   std::vector<ExprPtr> Args;
   while (E->isApplication()) {

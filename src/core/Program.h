@@ -183,6 +183,16 @@ private:
   size_t HashVal = 0;
 };
 
+/// Deterministic structural total order on expressions: negative when
+/// \p A orders before \p B, zero only for the same interned node. The
+/// order compares kinds, then fields, recursing structurally — it depends
+/// only on term *content*, never on interning history or pointer values,
+/// so it is stable across runs, rounds, and tables. Version-space
+/// extraction uses it to break equal-cost ties (vs/VersionSpace.cpp),
+/// which is what makes extraction a pure function of DAG structure and
+/// lets compression memoize rewrites across adoption rounds.
+int exprCompare(ExprPtr A, ExprPtr B);
+
 /// Unwinds a (possibly nested) application into its head and argument list,
 /// e.g. ((f a) b) -> (f, [a, b]).
 std::pair<ExprPtr, std::vector<ExprPtr>> applicationSpine(ExprPtr E);

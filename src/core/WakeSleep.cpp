@@ -4,6 +4,7 @@
 
 #include "core/LikelihoodSummary.h"
 #include "core/ThreadPool.h"
+#include "vs/VersionSpaceCache.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -355,6 +356,15 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
       R.gauge(Prefix + "test_solved").set(Metrics.TestSolved);
       R.gauge(Prefix + "library_size").set(Metrics.LibrarySize);
       R.gauge(Prefix + "library_depth").set(Metrics.LibraryDepth);
+      // Cumulative shard-cache health across all sleeps so far; the
+      // per-event hit/miss/eviction counters live under vs_cache.*.
+      VersionSpaceCache::Stats VS = VersionSpaceCache::global().stats();
+      R.gauge(Prefix + "vs_cache_entries")
+          .set(static_cast<double>(VS.Entries));
+      R.gauge(Prefix + "vs_cache_nodes").set(static_cast<double>(VS.Nodes));
+      R.gauge(Prefix + "vs_cache_hits").set(static_cast<double>(VS.Hits));
+      R.gauge(Prefix + "vs_cache_misses")
+          .set(static_cast<double>(VS.Misses));
       R.gauge(Prefix + "wake_nodes_expanded")
           .set(static_cast<double>(Metrics.WakeNodesExpanded));
       for (long E : Metrics.SolveEffort) {

@@ -7,6 +7,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "vs/VersionSpace.h"
+#include "vs/VersionSpaceCache.h"
 
 #include <algorithm>
 #include <cmath>
@@ -111,6 +112,12 @@ struct Candidate {
   /// What an occurrence of Space becomes: the invention applied to the
   /// open term's free variables, e.g. (#(λ (+ $0 $0)) $1).
   ExprPtr RewriteExpr = nullptr;
+  /// The normalized open term Space anchors — the content-stable identity
+  /// of this candidate (Space is a table-local id; the term is not). The
+  /// cross-round rewrite memo keys on it: Invention and RewriteExpr are
+  /// both pure functions of the anchor term, so (anchor term, beam
+  /// program, steps) determines the rewritten beam entry exactly.
+  ExprPtr AnchorTerm = nullptr;
   int TasksCovered = 0;
 };
 
@@ -242,66 +249,133 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
   Result.FinalScore = Result.InitialScore;
   obs::gaugeSet("compress.score_initial", Result.InitialScore);
 
+  // The content-addressed shard cache (cross-frontier and cross-round
+  // closure reuse) and the cross-round rewrite memo share one escape
+  // hatch: with UseVsCache off every pure value is recomputed from
+  // scratch, and the results are bit-identical either way (DESIGN.md §8,
+  // gated by bench_vs_cache).
+  VersionSpaceCache *Cache = nullptr;
+  if (Params.UseVsCache) {
+    Cache = &VersionSpaceCache::global();
+    Cache->setNodeBudget(Params.VsCacheNodeBudget);
+  }
+  // Rewrite memo: anchor term → (beam program → rewritten beam entry).
+  // Scoring's dominant cost is extracting + β-normalizing every beam
+  // under every candidate; the outcome for one pair is a pure function of
+  // (anchor term, beam program, inversion depth) because extraction
+  // breaks ties by term content (vs/VersionSpace.cpp). After an adoption
+  // only the pairs whose beam the new invention actually rewrote — or
+  // whose candidate is newly proposed — miss; everything else replays
+  // from the memo. Within a round anchors are unique per candidate
+  // (bodies are deduped at admission), so each scoring worker owns its
+  // sub-map exclusively; the outer map is only touched between fan-outs.
+  std::unordered_map<ExprPtr, std::unordered_map<ExprPtr, ExprPtr>>
+      RewriteMemo;
+  int RewriteMemoSteps = std::numeric_limits<int>::min();
+
   for (int Round = 0; Round < Params.MaxNewInventions; ++Round) {
     obs::countAdd("compress.rounds");
     int64_t ClosureStart =
         obs::Telemetry::enabled() ? obs::Tracer::global().begin() : 0;
-    // Build the refactoring closure of every beam program. Each frontier's
-    // closure is built in a private per-worker VersionTable shard, then the
-    // shards are folded into one master table in frontier order — the
-    // merged table (and everything downstream of it) is a pure function of
-    // the frontiers and Steps, never of the thread count. Large corpora
-    // can overflow the node cap at n=3; degrade the inversion depth rather
-    // than giving up (shallower refactorings still beat none).
+    // Build the refactoring closure of every *distinct* beam program. A
+    // closure shard — betaClosure in a fresh private table — is a pure
+    // function of (program, Steps), which makes it the unit of
+    // content-addressed caching: structurally identical beam entries
+    // (near-identical beams are common on list/text corpora) reuse one
+    // shard across frontiers, rounds, and sleep phases instead of
+    // rebuilding it. The master table is assembled by absorbing shards in
+    // first-occurrence order (frontier order, entry order), so the merged
+    // table and everything downstream of it is a pure function of the
+    // frontiers and Steps — never of the thread count, and never of which
+    // lookups hit (a hit returns a table bit-identical to a rebuild).
+    // Large corpora can overflow the node cap at n=3; degrade the
+    // inversion depth rather than giving up (shallower refactorings still
+    // beat none), dropping the shards the overflowed attempt installed
+    // before retrying.
     const size_t NumFrontiers = Result.RewrittenFrontiers.size();
+    std::vector<ExprPtr> Programs;
+    std::unordered_map<ExprPtr, size_t> ProgramSlot;
+    for (const Frontier &F : Result.RewrittenFrontiers)
+      for (const FrontierEntry &E : F.entries())
+        if (ProgramSlot.emplace(E.Program, Programs.size()).second)
+          Programs.push_back(E.Program);
+
     VersionTable VT;
     std::vector<std::vector<VsId>> Closures;
     int Steps = Params.RefactorSteps;
     bool ClosureGaveUp = false;
     for (;; --Steps) {
-      struct ClosureShard {
-        VersionTable Table;
-        std::vector<VsId> Roots;
-        bool Overflow = false;
+      struct ShardSlot {
+        VsClosureShardPtr Shard;
+        bool Hit = false;       ///< served from the cache
+        bool Installed = false; ///< this attempt inserted it
       };
-      std::vector<ClosureShard> Shards(NumFrontiers);
+      std::vector<ShardSlot> Shards(Programs.size());
       CancellationToken Cancel;
       parallelFor(
-          Params.NumThreads, NumFrontiers,
-          [&](size_t X) {
+          Params.NumThreads, Programs.size(),
+          [&](size_t PI) {
             obs::ScopedSpan ShardSpan("compress.closure.shard");
-            ClosureShard &S = Shards[X];
-            for (const FrontierEntry &E :
-                 Result.RewrittenFrontiers[X].entries()) {
-              S.Roots.push_back(S.Table.betaClosure(E.Program, Steps));
-              if (S.Table.size() > Params.MaxVersionNodes) {
-                // A shard past the cap means this Steps level is over
-                // budget no matter how the merge would have gone; stop
-                // the other workers early. Which shards got built is
-                // thread-dependent, but everything from this attempt is
-                // discarded, so only the (deterministic) overflow verdict
-                // survives.
-                S.Overflow = true;
-                Cancel.cancel();
+            ShardSlot &S = Shards[PI];
+            if (Cache)
+              if ((S.Shard = Cache->lookup(Programs[PI], Steps))) {
+                S.Hit = true;
+                // A stale oversized entry (installed under a larger cap
+                // by an earlier phase) must trigger the same degrade a
+                // rebuild would — size is a pure property of the key.
+                if (S.Shard->nodes() > Params.MaxVersionNodes)
+                  Cancel.cancel();
                 return;
               }
+            S.Shard = VsClosureShard::build(Programs[PI], Steps);
+            if (S.Shard->nodes() > Params.MaxVersionNodes) {
+              // An oversized shard means this Steps level is over budget
+              // no matter how the merge would have gone; stop the other
+              // workers early. Which shards got built is
+              // thread-dependent, but oversize is a pure property of
+              // (program, Steps), so only the (deterministic) overflow
+              // verdict survives — and oversized shards are never
+              // installed.
+              Cancel.cancel();
+              return;
             }
+            if (Cache)
+              S.Installed = Cache->insert(S.Shard);
           },
           &Cancel);
       bool Overflow = Cancel.cancelled();
       if (!Overflow) {
         obs::ScopedSpan MergeSpan("compress.closure.merge");
         VT = VersionTable();
-        Closures.assign(NumFrontiers, {});
-        for (size_t X = 0; X < NumFrontiers && !Overflow; ++X) {
-          std::vector<VsId> Memo(Shards[X].Table.size(), -1);
-          for (VsId Root : Shards[X].Roots)
-            Closures[X].push_back(VT.absorb(Shards[X].Table, Root, Memo));
+        std::vector<VsId> Roots(Programs.size(), -1);
+        std::vector<VsId> Memo;
+        for (size_t PI = 0; PI < Programs.size() && !Overflow; ++PI) {
+          const VsClosureShard &S = *Shards[PI].Shard;
+          Memo.assign(S.Table.size(), -1);
+          Roots[PI] = VT.absorb(S.Table, S.Root, Memo);
           Overflow = VT.size() > Params.MaxVersionNodes;
+        }
+        if (!Overflow) {
+          Closures.assign(NumFrontiers, {});
+          for (size_t X = 0; X < NumFrontiers; ++X)
+            for (const FrontierEntry &E :
+                 Result.RewrittenFrontiers[X].entries())
+              Closures[X].push_back(Roots[ProgramSlot[E.Program]]);
         }
       }
       if (!Overflow)
         break;
+      // Overflow-degrade contract: a degraded attempt takes back every
+      // shard it installed (plus any stale oversized hit) before retrying
+      // shallower, so near-cap shards never linger in the cache and the
+      // shallower retry — whose keys differ in Steps anyway — can never
+      // observe this attempt's entries.
+      if (Cache)
+        for (size_t PI = 0; PI < Shards.size(); ++PI)
+          if (Shards[PI].Installed ||
+              (Shards[PI].Hit &&
+               Shards[PI].Shard->nodes() > Params.MaxVersionNodes))
+            Cache->evict(Programs[PI], Steps);
       if (Steps <= 1) {
         // Even the shallowest inversion depth overflows: give up on this
         // round entirely. The partially built table and closures must
@@ -318,6 +392,13 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
     }
     if (ClosureGaveUp)
       break; // corpus too large for refactoring at any depth
+    if (Steps != RewriteMemoSteps) {
+      // Extractions depend on the inversion depth: the first round, and
+      // any round whose degrade ladder settled on a different depth,
+      // invalidates every memoized rewrite.
+      RewriteMemo.clear();
+      RewriteMemoSteps = Steps;
+    }
 #ifndef NDEBUG
     for (size_t X = 0; X < NumFrontiers; ++X)
       assert(Closures[X].size() ==
@@ -460,7 +541,7 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
         ExprPtr Rewrite = Invention;
         for (int I : P.Free)
           Rewrite = Expr::application(Rewrite, Expr::index(I));
-        Candidates.push_back({Anchor, Invention, Rewrite,
+        Candidates.push_back({Anchor, Invention, Rewrite, P.Term,
                               TasksCovering[Anchor]});
       }
     }
@@ -497,6 +578,22 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
     std::vector<ScoredCandidate> Scored(Candidates.size());
     CompressionParams InnerParams = Params;
     InnerParams.NumThreads = 1; // summaries stay serial inside workers
+    // Hand each candidate its rewrite-memo sub-map up front, serially:
+    // anchors are unique within a round (admission dedups bodies, and the
+    // body determines the anchor), so no two workers share a sub-map and
+    // the outer map never rehashes under the fan-out.
+    std::vector<std::unordered_map<ExprPtr, ExprPtr> *> Memos(
+        Candidates.size(), nullptr);
+    if (Params.UseVsCache)
+      for (size_t CI = 0; CI < Candidates.size(); ++CI)
+        Memos[CI] = &RewriteMemo[Candidates[CI].AnchorTerm];
+#ifndef NDEBUG
+    {
+      std::set<const void *> Distinct(Memos.begin(), Memos.end());
+      assert((!Params.UseVsCache || Distinct.size() == Memos.size()) &&
+             "candidate anchors must be unique within a round");
+    }
+#endif
     parallelFor(Params.NumThreads, Candidates.size(), [&](size_t CI) {
       obs::ScopedSpan CandidateSpan("compress.score.candidate");
       const Candidate &C = Candidates[CI];
@@ -507,28 +604,46 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
       S.Rewritten = Result.RewrittenFrontiers;
       std::vector<char> Cone = VT.coneAbove(C.Space);
       std::unordered_map<VsId, Extraction> Overlay;
+      std::unordered_map<ExprPtr, ExprPtr> *Memo = Memos[CI];
       for (size_t X = 0; X < S.Rewritten.size(); ++X) {
         auto &Entries = S.Rewritten[X].entries();
         for (size_t I = 0; I < Entries.size(); ++I) {
-          Extraction E = VT.extractWithCandidate(
-              Closures[X][I], C.Space, C.RewriteExpr, Cone, SharedCache,
-              Overlay);
-          if (!E.Program)
-            continue;
+          const ExprPtr Before = Entries[I].Program;
+          if (Memo) {
+            auto It = Memo->find(Before);
+            if (It != Memo->end()) {
+              // Replay from a previous round. Identical to recomputing:
+              // the value is a pure function of (anchor term, beam
+              // program, Steps), and a beam the last adoption rewrote
+              // arrives here as a different program — an automatic miss.
+              Entries[I].Program = It->second;
+              obs::countAdd("vs_cache.rewrite.hits");
+              continue;
+            }
+            obs::countAdd("vs_cache.rewrite.misses");
+          }
           // The extracted member may be a refactoring with explicit
           // β-redexes, e.g. ((λ (map $0 xs)) #invention); normalize so the
           // grammar can score it. Inventions are atomic and survive. A
-          // null normal form (step budget exhausted) keeps the original
-          // beam entry.
-          ExprPtr Normal = E.Program->betaNormalForm(512);
-          if (!Normal)
-            continue;
-          if (Params.Verbose && Normal != Entries[I].Program && CI < 3)
-            appendf(S.VerboseLog, "    rewrite[%zu] %s => %s\n", CI,
-                    Entries[I].Program->show().c_str(),
-                    Normal->show().c_str());
-          if (Normal->inferType())
-            Entries[I].Program = Normal;
+          // null extraction or null normal form (step budget exhausted)
+          // keeps the original beam entry.
+          ExprPtr After = Before;
+          Extraction E = VT.extractWithCandidate(
+              Closures[X][I], C.Space, C.RewriteExpr, Cone, SharedCache,
+              Overlay);
+          if (E.Program) {
+            ExprPtr Normal = E.Program->betaNormalForm(512);
+            if (Normal) {
+              if (Params.Verbose && Normal != Before && CI < 3)
+                appendf(S.VerboseLog, "    rewrite[%zu] %s => %s\n", CI,
+                        Before->show().c_str(), Normal->show().c_str());
+              if (Normal->inferType())
+                After = Normal;
+            }
+          }
+          Entries[I].Program = After;
+          if (Memo)
+            Memo->emplace(Before, After);
         }
       }
       S.Score = libraryScore(S.Extended, S.Rewritten, InnerParams);

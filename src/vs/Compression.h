@@ -45,11 +45,19 @@ struct CompressionParams {
   int MinimumTasksCovered = 2;
   /// Safety valve: skip version spaces larger than this many nodes.
   size_t MaxVersionNodes = 4000000;
-  /// Worker threads for the three compression fan-outs (per-frontier
+  /// Worker threads for the three compression fan-outs (per-program
   /// β-closure shards, candidate scoring, likelihood summaries): 0 = one
   /// per hardware core, 1 = serial, N = at most N. Results are
   /// bit-identical at every setting (see DESIGN.md, threading model).
   int NumThreads = 1;
+  /// Master switch for the content-addressed closure-shard cache and the
+  /// cross-round rewrite memo (tools/dc_run --no-vs-cache). Both caches
+  /// only skip recomputing pure values, so results are bit-identical with
+  /// caching on or off — bench_vs_cache gates this at 1/4/8 threads.
+  bool UseVsCache = true;
+  /// LRU node budget of the process-wide shard cache (total nodes across
+  /// cached shards; see VersionSpaceCache::DefaultNodeBudget).
+  size_t VsCacheNodeBudget = 16u * 1024 * 1024;
   bool Verbose = false;
 };
 

@@ -15,6 +15,24 @@ constexpr double Infinity = std::numeric_limits<double>::infinity();
 /// leaves cost 1, so extraction minimizes leaf count with ties broken
 /// toward shallower trees.
 constexpr double EpsilonCost = 0.01;
+
+/// True when \p E improves on \p Best under the extraction order: strictly
+/// cheaper, or equal cost and structurally smaller (exprCompare). Breaking
+/// exact-cost ties by term content instead of union-member position makes
+/// the chosen program a pure function of the version-space *structure* —
+/// independent of node-id assignment, and therefore identical whether the
+/// DAG was built in a private shard, a cached shard, or the merged master
+/// table. The shard cache and cross-round rewrite memo both rely on this
+/// (vs/VersionSpaceCache.h, DESIGN.md §8).
+bool extractionImproves(const dc::Extraction &E, const dc::Extraction &Best) {
+  if (!E.Program)
+    return false;
+  if (!Best.Program)
+    return true;
+  if (E.Cost != Best.Cost)
+    return E.Cost < Best.Cost;
+  return dc::exprCompare(E.Program, Best.Program) < 0;
+}
 } // namespace
 
 VersionTable::VersionTable() {
@@ -630,7 +648,7 @@ Extraction VersionTable::extractMinimal(
   case VsKind::Union:
     for (VsId M : N.Members) {
       Extraction E = extractMinimal(M, Candidate, CandidateExpr, Cache);
-      if (E.Program && E.Cost < Result.Cost)
+      if (extractionImproves(E, Result))
         Result = E;
     }
     break;
@@ -691,7 +709,7 @@ Extraction VersionTable::extractLayered(
   case VsKind::Union:
     for (VsId M : N.Members) {
       Extraction E = extractLayered(M, Shared, Overlay);
-      if (E.Program && E.Cost < Result.Cost)
+      if (extractionImproves(E, Result))
         Result = E;
     }
     break;
@@ -777,7 +795,7 @@ Extraction VersionTable::extractWithCandidate(
     for (VsId M : N.Members) {
       Extraction E = extractWithCandidate(M, Candidate, CandidateExpr, Cone,
                                           SharedCache, OverlayCache);
-      if (E.Program && E.Cost < Result.Cost)
+      if (extractionImproves(E, Result))
         Result = E;
     }
     break;

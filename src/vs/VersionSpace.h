@@ -141,7 +141,11 @@ public:
   //===--------------------------------------------------------------------===//
 
   /// Minimal-cost member of ⟦v⟧ where leaves cost 1 and internal nodes ε;
-  /// when \p Candidate >= 0, that subspace costs 1 and extracts as
+  /// exact-cost ties break by the structural term order (exprCompare), so
+  /// the chosen program depends only on the DAG's structure, never on the
+  /// node-id assignment of the particular table it lives in — the property
+  /// the closure-shard cache and rewrite memo are built on (DESIGN.md §8).
+  /// When \p Candidate >= 0, that subspace costs 1 and extracts as
   /// \p CandidateExpr (the freshly invented library routine). The memo
   /// \p Cache must be reused only for the same (Candidate, CandidateExpr).
   Extraction extractMinimal(VsId V, VsId Candidate, ExprPtr CandidateExpr,

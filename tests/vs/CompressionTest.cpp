@@ -4,6 +4,7 @@
 
 #include "core/Primitives.h"
 #include "core/ProgramParser.h"
+#include "vs/VersionSpaceCache.h"
 
 #include <gtest/gtest.h>
 
@@ -270,6 +271,32 @@ TEST_F(CompressionTest, ResultsIdenticalAcrossThreads) {
     CompressionResult Parallel = compressLibrary(G, idiomCorpus(), Params);
     expectIdenticalResults(Serial, Parallel,
                            "threads=" + std::to_string(Threads));
+  }
+}
+
+TEST_F(CompressionTest, ResultsIdenticalWithAndWithoutCache) {
+  // The caching contract (DESIGN.md §8): the shard cache and the rewrite
+  // memo only skip recomputing pure values, so compression is
+  // bit-identical with caching on or off, cold or warm, at every thread
+  // count.
+  CompressionParams Params;
+  Params.StructurePenalty = 0.5;
+  Params.UseVsCache = false;
+  Params.NumThreads = 1;
+  CompressionResult Reference = compressLibrary(G, idiomCorpus(), Params);
+  ASSERT_FALSE(Reference.NewInventions.empty())
+      << "corpus must be rich enough to exercise adoption";
+  for (int Threads : {1, 4, 8}) {
+    Params.NumThreads = Threads;
+    Params.UseVsCache = false;
+    expectIdenticalResults(Reference, compressLibrary(G, idiomCorpus(), Params),
+                           "uncached threads=" + std::to_string(Threads));
+    Params.UseVsCache = true;
+    VersionSpaceCache::global().clear();
+    expectIdenticalResults(Reference, compressLibrary(G, idiomCorpus(), Params),
+                           "cached cold threads=" + std::to_string(Threads));
+    expectIdenticalResults(Reference, compressLibrary(G, idiomCorpus(), Params),
+                           "cached warm threads=" + std::to_string(Threads));
   }
 }
 

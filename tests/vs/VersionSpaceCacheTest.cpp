@@ -1,0 +1,279 @@
+//===- tests/vs/VersionSpaceCacheTest.cpp - Shard cache unit tests --------===//
+
+#include "vs/VersionSpaceCache.h"
+
+#include "core/Primitives.h"
+#include "core/ProgramParser.h"
+#include "vs/Compression.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+using namespace dc;
+
+namespace {
+
+class VersionSpaceCacheTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    std::vector<ExprPtr> Core = prims::functionalCore();
+    std::vector<ExprPtr> Extra = prims::arithmeticExtras();
+    Core.insert(Core.end(), Extra.begin(), Extra.end());
+    G = Grammar::uniform(Core);
+  }
+
+  ExprPtr parse(const char *Src) {
+    ExprPtr P = parseProgram(Src);
+    EXPECT_NE(P, nullptr) << Src;
+    return P;
+  }
+
+  Frontier solvedFrontier(const std::string &Name, const std::string &Src,
+                          TypePtr Request) {
+    ExprPtr P = parseProgram(Src);
+    EXPECT_NE(P, nullptr) << Src;
+    auto T = std::make_shared<Task>(Name, Request, std::vector<Example>{});
+    Frontier F(T);
+    F.record({P, G.logLikelihood(Request, P), 0.0});
+    return F;
+  }
+
+  /// The CompressionTest idiom corpus: several beams share the "double"
+  /// idiom, rich enough for adoption and for the degrade ladder.
+  std::vector<Frontier> idiomCorpus() {
+    TypePtr Req = Type::arrow(tList(tInt()), tList(tInt()));
+    return {
+        solvedFrontier("double", "(lambda (map (lambda (+ $0 $0)) $0))",
+                       Req),
+        solvedFrontier("double-tail",
+                       "(lambda (map (lambda (+ $0 $0)) (cdr $0)))", Req),
+        solvedFrontier("double-head",
+                       "(lambda (cons (+ (car $0) (car $0)) nil))", Req),
+        solvedFrontier("quadruple",
+                       "(lambda (map (lambda (+ $0 $0)) "
+                       "(map (lambda (+ $0 $0)) $0)))",
+                       Req),
+        solvedFrontier("square", "(lambda (map (lambda (* $0 $0)) $0))",
+                       Req),
+        solvedFrontier("incr-all", "(lambda (map (lambda (+ $0 1)) $0))",
+                       Req),
+    };
+  }
+
+  std::vector<ExprPtr> distinctPrograms(const std::vector<Frontier> &Fs) {
+    std::vector<ExprPtr> Ps;
+    for (const Frontier &F : Fs)
+      for (const FrontierEntry &E : F.entries())
+        if (std::find(Ps.begin(), Ps.end(), E.Program) == Ps.end())
+          Ps.push_back(E.Program);
+    return Ps;
+  }
+
+  Grammar G;
+};
+
+/// Bit-identity of two compression results (same checks as
+/// CompressionTest's helper; programs are hash-consed so pointer equality
+/// is structural equality).
+void expectIdenticalResults(const CompressionResult &A,
+                            const CompressionResult &B,
+                            const std::string &Label) {
+  SCOPED_TRACE(Label);
+  ASSERT_EQ(A.NewInventions.size(), B.NewInventions.size());
+  for (size_t I = 0; I < A.NewInventions.size(); ++I)
+    EXPECT_EQ(A.NewInventions[I], B.NewInventions[I]);
+  EXPECT_EQ(A.InitialScore, B.InitialScore);
+  EXPECT_EQ(A.FinalScore, B.FinalScore);
+  const auto &PA = A.NewGrammar.productions();
+  const auto &PB = B.NewGrammar.productions();
+  ASSERT_EQ(PA.size(), PB.size());
+  for (size_t I = 0; I < PA.size(); ++I) {
+    EXPECT_EQ(PA[I].Program, PB[I].Program);
+    EXPECT_EQ(PA[I].LogWeight, PB[I].LogWeight);
+  }
+  ASSERT_EQ(A.RewrittenFrontiers.size(), B.RewrittenFrontiers.size());
+  for (size_t X = 0; X < A.RewrittenFrontiers.size(); ++X) {
+    const auto &EA = A.RewrittenFrontiers[X].entries();
+    const auto &EB = B.RewrittenFrontiers[X].entries();
+    ASSERT_EQ(EA.size(), EB.size());
+    for (size_t I = 0; I < EA.size(); ++I) {
+      EXPECT_EQ(EA[I].Program, EB[I].Program);
+      EXPECT_EQ(EA[I].LogPrior, EB[I].LogPrior);
+    }
+  }
+}
+
+} // namespace
+
+TEST_F(VersionSpaceCacheTest, ShardBuildIsPure) {
+  // Two builds of the same key are bit-identical tables — the property
+  // that makes a cache hit indistinguishable from a rebuild.
+  ExprPtr P = parse("(lambda (map (lambda (+ $0 $0)) $0))");
+  VsClosureShardPtr A = VsClosureShard::build(P, 3);
+  VsClosureShardPtr B = VsClosureShard::build(P, 3);
+  EXPECT_EQ(A->Root, B->Root);
+  EXPECT_EQ(A->Table.size(), B->Table.size());
+  EXPECT_GT(A->nodes(), 0u);
+  // Absorbing both into fresh tables lands every node on the same id.
+  VersionTable TA, TB;
+  std::vector<VsId> Memo(A->Table.size(), -1);
+  VsId RA = TA.absorb(A->Table, A->Root, Memo);
+  Memo.assign(B->Table.size(), -1);
+  VsId RB = TB.absorb(B->Table, B->Root, Memo);
+  EXPECT_EQ(RA, RB);
+  EXPECT_EQ(TA.size(), TB.size());
+}
+
+TEST_F(VersionSpaceCacheTest, LookupMissThenHit) {
+  VersionSpaceCache Cache;
+  ExprPtr P = parse("(lambda (map (lambda (+ $0 $0)) $0))");
+  EXPECT_EQ(Cache.lookup(P, 3), nullptr);
+
+  VsClosureShardPtr Shard = VsClosureShard::build(P, 3);
+  EXPECT_TRUE(Cache.insert(Shard));
+  EXPECT_EQ(Cache.lookup(P, 3), Shard); // same object, not a copy
+  // Keys include the inversion depth: the same program at another depth
+  // is a different closure.
+  EXPECT_EQ(Cache.lookup(P, 2), nullptr);
+
+  VersionSpaceCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1);
+  EXPECT_EQ(S.Misses, 2);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Nodes, Shard->nodes());
+}
+
+TEST_F(VersionSpaceCacheTest, LruEvictionUnderNodeBudget) {
+  ExprPtr A = parse("(lambda (map (lambda (+ $0 $0)) $0))");
+  ExprPtr B = parse("(lambda (map (lambda (* $0 $0)) $0))");
+  ExprPtr C = parse("(lambda (map (lambda (+ $0 1)) $0))");
+  VsClosureShardPtr SA = VsClosureShard::build(A, 2);
+  VsClosureShardPtr SB = VsClosureShard::build(B, 2);
+  VsClosureShardPtr SC = VsClosureShard::build(C, 2);
+
+  // Budget one node short of all three: the third insert must evict
+  // exactly the least-recently-used entry.
+  VersionSpaceCache Cache(SA->nodes() + SB->nodes() + SC->nodes() - 1);
+  EXPECT_TRUE(Cache.insert(SA));
+  EXPECT_TRUE(Cache.insert(SB));
+  EXPECT_EQ(Cache.lookup(A, 2), SA); // touch A: B becomes LRU
+  EXPECT_TRUE(Cache.insert(SC));
+
+  EXPECT_EQ(Cache.lookup(A, 2), SA);
+  EXPECT_EQ(Cache.lookup(B, 2), nullptr); // evicted
+  EXPECT_EQ(Cache.lookup(C, 2), SC);
+  VersionSpaceCache::Stats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 1);
+  EXPECT_EQ(S.Entries, 2u);
+  EXPECT_EQ(S.Nodes, SA->nodes() + SC->nodes());
+}
+
+TEST_F(VersionSpaceCacheTest, InsertRejectsOversizedAndDuplicates) {
+  ExprPtr P = parse("(lambda (map (lambda (+ $0 $0)) $0))");
+  VsClosureShardPtr Shard = VsClosureShard::build(P, 3);
+
+  VersionSpaceCache Tiny(Shard->nodes() - 1);
+  EXPECT_FALSE(Tiny.insert(Shard)); // would evict everything and still
+  EXPECT_EQ(Tiny.stats().Entries, 0u); // not fit: rejected outright
+
+  VersionSpaceCache Cache;
+  EXPECT_TRUE(Cache.insert(Shard));
+  EXPECT_FALSE(Cache.insert(Shard)); // racing builders insert once
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+}
+
+TEST_F(VersionSpaceCacheTest, ExplicitEvictDropsOneKey) {
+  ExprPtr P = parse("(lambda (map (lambda (+ $0 $0)) $0))");
+  VersionSpaceCache Cache;
+  EXPECT_FALSE(Cache.evict(P, 3)); // nothing there yet
+  EXPECT_TRUE(Cache.insert(VsClosureShard::build(P, 3)));
+  EXPECT_TRUE(Cache.insert(VsClosureShard::build(P, 2)));
+  EXPECT_TRUE(Cache.evict(P, 3));
+  EXPECT_EQ(Cache.lookup(P, 3), nullptr);
+  EXPECT_NE(Cache.lookup(P, 2), nullptr); // other depth untouched
+  EXPECT_EQ(Cache.stats().Entries, 1u);
+}
+
+TEST_F(VersionSpaceCacheTest, OverflowedAttemptEvictsEveryShardItInstalled) {
+  // The overflow-degrade contract (DESIGN.md §8): pick a node cap between
+  // the smallest and largest per-program shard at n=3, so the n=3 attempt
+  // installs the small shards, hits the oversized one, cancels — and must
+  // then take back everything it installed before retrying shallower. No
+  // n=3 key may linger in the cache afterwards.
+  std::vector<Frontier> Fs = idiomCorpus();
+  std::vector<ExprPtr> Programs = distinctPrograms(Fs);
+  size_t MinNodes = SIZE_MAX, MaxNodes = 0;
+  for (ExprPtr P : Programs) {
+    size_t N = VsClosureShard::build(P, 3)->nodes();
+    MinNodes = std::min(MinNodes, N);
+    MaxNodes = std::max(MaxNodes, N);
+  }
+  ASSERT_LT(MinNodes, MaxNodes) << "corpus must mix shard sizes";
+  const size_t Cap = (MinNodes + MaxNodes) / 2;
+
+  VersionSpaceCache &Cache = VersionSpaceCache::global();
+  Cache.clear();
+  Cache.resetStats();
+  CompressionParams Params;
+  Params.StructurePenalty = 0.5;
+  Params.MaxVersionNodes = Cap;
+  CompressionResult Cached = compressLibrary(G, Fs, Params);
+  EXPECT_GT(Cache.stats().Evictions, 0) << "the n=3 attempt must have "
+                                           "installed and reclaimed shards";
+  for (ExprPtr P : Programs)
+    EXPECT_EQ(Cache.lookup(P, Params.RefactorSteps), nullptr)
+        << "stale shard from the overflowed n=3 attempt: " << P->show();
+
+  // The shallower retry observed no stale entries: the cached run equals
+  // the uncached run, cold and warm.
+  Params.UseVsCache = false;
+  CompressionResult Uncached = compressLibrary(G, Fs, Params);
+  expectIdenticalResults(Uncached, Cached, "degrade, cold cache");
+  Params.UseVsCache = true;
+  expectIdenticalResults(Uncached, compressLibrary(G, Fs, Params),
+                         "degrade, warm cache");
+}
+
+TEST_F(VersionSpaceCacheTest, DegradeLadderMatchesUncachedAtEveryCap) {
+  // Same caps as CompressionTest.OverflowDegradeNeverLeaksPartialClosures:
+  // full give-up (1, 8) and surviving shallow depths (40, 3000). Cached
+  // and uncached must agree everywhere, and a full give-up must leave the
+  // cache empty — every installed shard reclaimed.
+  std::vector<Frontier> Fs = idiomCorpus();
+  for (size_t Cap : {size_t(1), size_t(8), size_t(40), size_t(3000)}) {
+    SCOPED_TRACE("cap=" + std::to_string(Cap));
+    CompressionParams Params;
+    Params.StructurePenalty = 0.5;
+    Params.MaxVersionNodes = Cap;
+    Params.UseVsCache = false;
+    CompressionResult Uncached = compressLibrary(G, Fs, Params);
+
+    VersionSpaceCache::global().clear();
+    Params.UseVsCache = true;
+    expectIdenticalResults(Uncached, compressLibrary(G, Fs, Params),
+                           "cold");
+    expectIdenticalResults(Uncached, compressLibrary(G, Fs, Params),
+                           "warm");
+    if (Cap <= 8)
+      EXPECT_EQ(VersionSpaceCache::global().stats().Entries, 0u)
+          << "a fully overflowed sleep must not park shards";
+  }
+}
+
+TEST_F(VersionSpaceCacheTest, SecondSleepHitsForUntouchedBeams) {
+  // The steady-state payoff: a sleep over an unchanged corpus serves its
+  // closures from the cache instead of rebuilding them.
+  std::vector<Frontier> Fs = idiomCorpus();
+  VersionSpaceCache &Cache = VersionSpaceCache::global();
+  Cache.clear();
+  CompressionParams Params;
+  Params.StructurePenalty = 0.5;
+  CompressionResult First = compressLibrary(G, Fs, Params);
+  Cache.resetStats();
+  CompressionResult Second = compressLibrary(G, Fs, Params);
+  VersionSpaceCache::Stats S = Cache.stats();
+  EXPECT_GT(S.Hits, 0) << "unchanged beams must reuse cached shards";
+  expectIdenticalResults(First, Second, "second sleep, warm cache");
+}

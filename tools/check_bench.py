@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Gate benchmark reports against committed baselines.
+
+Each bench binary writes a ``BENCH_<name>.json`` report (bench/BenchUtil.h)
+mirroring its text output: a top-level ``wall_seconds`` plus sections of
+rows (label/value/unit) and notes. CI runs this script after the Release
+bench steps to compare those reports against the baselines committed under
+``bench/baselines/``, failing the job when
+
+* total ``wall_seconds`` or any timing row (unit ``"s"``) regresses by
+  more than ``--threshold`` (default 25%) relative to the baseline,
+* a determinism fingerprint note ("... fingerprint: <hex>") differs from
+  the baseline's — a self-consistent but baseline-divergent result is
+  still a determinism bug,
+* the report itself carries an ERROR note (a bench's own gate tripped;
+  the bench exits nonzero too, so this is belt and braces).
+
+Reports with no committed baseline are skipped with a warning so new
+benches can land before their first baseline.
+
+Refreshing baselines (e.g. after an intentional perf change or a runner
+upgrade): download the ``bench-reports-*`` artifact from a green CI run
+(or run the benches locally on a comparable machine), then
+
+    python3 tools/check_bench.py --update path/to/BENCH_*.json
+
+and commit the files it writes under bench/baselines/. Timings are
+machine-relative: refresh from the same runner class the gate runs on,
+not from a laptop.
+"""
+
+import argparse
+import glob
+import json
+import os
+import re
+import shutil
+import sys
+
+FINGERPRINT_RE = re.compile(r"fingerprint:\s*([0-9a-fA-Fx]+)")
+
+
+def load_report(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def fingerprints(report):
+    """All fingerprint notes in section order."""
+    found = []
+    for section in report.get("sections", []):
+        for note in section.get("notes", []):
+            m = FINGERPRINT_RE.search(note)
+            if m:
+                found.append(m.group(1))
+    return found
+
+
+def timing_rows(report):
+    """{(section title, row label): seconds} for every unit-"s" row."""
+    rows = {}
+    for section in report.get("sections", []):
+        for row in section.get("rows", []):
+            if row.get("unit") == "s":
+                rows[(section.get("title", ""), row["label"])] = row["value"]
+    return rows
+
+
+def self_check(report):
+    """Problems a report carries on its own, baseline or not."""
+    problems = []
+    for section in report.get("sections", []):
+        for note in section.get("notes", []):
+            if "ERROR" in note:
+                problems.append("bench-reported error: %s" % note.strip())
+    return problems
+
+
+def compare(current, baseline, threshold):
+    """Problems in `current` relative to `baseline` (list of strings)."""
+    problems = []
+
+    cur_fp, base_fp = fingerprints(current), fingerprints(baseline)
+    if cur_fp != base_fp:
+        problems.append(
+            "determinism fingerprint mismatch: %s (baseline %s)"
+            % (cur_fp or "none", base_fp or "none")
+        )
+
+    def check_time(label, cur, base):
+        if base <= 0:
+            return
+        ratio = cur / base
+        if ratio > 1.0 + threshold:
+            problems.append(
+                "%s regressed %.0f%%: %.3fs vs baseline %.3fs"
+                % (label, (ratio - 1.0) * 100.0, cur, base)
+            )
+
+    check_time(
+        "wall_seconds",
+        current.get("wall_seconds", 0.0),
+        baseline.get("wall_seconds", 0.0),
+    )
+    base_rows = timing_rows(baseline)
+    for key, cur in sorted(timing_rows(current).items()):
+        if key in base_rows:
+            check_time("row '%s'" % key[1], cur, base_rows[key])
+    return problems
+
+
+def check_report(path, baseline_dir, threshold, update):
+    """Checks one report file. Returns (num_problems, num_skipped)."""
+    name = os.path.basename(path)
+    baseline_path = os.path.join(baseline_dir, name)
+    current = load_report(path)
+
+    problems = self_check(current)
+    skipped = 0
+    if os.path.exists(baseline_path):
+        problems += compare(current, load_report(baseline_path), threshold)
+    elif not update:
+        print("SKIP %s: no baseline at %s" % (name, baseline_path))
+        skipped = 1
+
+    if problems:
+        for p in problems:
+            print("FAIL %s: %s" % (name, p))
+        return (len(problems), 0)
+
+    if update:
+        os.makedirs(baseline_dir, exist_ok=True)
+        shutil.copyfile(path, baseline_path)
+        print("UPDATED %s -> %s" % (name, baseline_path))
+    elif not skipped:
+        print("OK   %s" % name)
+    return (0, skipped)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument(
+        "reports",
+        nargs="*",
+        help="BENCH_*.json files (default: glob BENCH_*.json in cwd)",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             os.pardir, "bench", "baselines"),
+        help="baseline directory (default: <repo>/bench/baselines)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional wall-clock regression (default 0.25)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="refresh baselines from the given reports instead of gating "
+        "(still fails on a report's own ERROR notes)",
+    )
+    args = parser.parse_args(argv)
+
+    reports = args.reports or sorted(glob.glob("BENCH_*.json"))
+    if not reports:
+        print("check_bench: no BENCH_*.json reports found", file=sys.stderr)
+        return 2
+
+    failures = skipped = 0
+    for path in reports:
+        problems, skips = check_report(
+            path, args.baselines, args.threshold, args.update
+        )
+        failures += problems
+        skipped += skips
+
+    checked = len(reports) - skipped
+    print(
+        "check_bench: %d report(s) checked, %d skipped, %d problem(s)"
+        % (checked, skipped, failures)
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,10 +41,14 @@ void usage(const char *Argv0) {
       "usage: %s [--domain NAME] [--variant NAME] [--iterations N]\n"
       "          [--minibatch N] [--seed N] [--node-budget N]\n"
       "          [--threads N] [--checkpoint PATH] [--resume PATH]\n"
-      "          [--metrics-out PATH] [--trace-out PATH] [--verbose]\n"
+      "          [--metrics-out PATH] [--trace-out PATH] [--no-vs-cache]\n"
+      "          [--verbose]\n"
       "--threads: 0 = one per core (default), 1 = serial, N = at most N;\n"
       "           covers wake search, compression sleep, and dreaming —\n"
       "           results are identical at every setting\n"
+      "--no-vs-cache: disable the version-space shard cache and rewrite\n"
+      "               memo in abstraction sleep (escape hatch; results are\n"
+      "               bit-identical either way, only wall-clock changes)\n"
       "--metrics-out: write counters/gauges/histograms as JSON after the\n"
       "               run (enables telemetry; results are unchanged)\n"
       "--trace-out:   write chrome://tracing trace-event JSON (load via\n"
@@ -139,6 +143,8 @@ int main(int Argc, char **Argv) {
       MetricsPath = Next();
     else if (!std::strcmp(Argv[I], "--trace-out"))
       TracePath = Next();
+    else if (!std::strcmp(Argv[I], "--no-vs-cache"))
+      Config.Compress.UseVsCache = false;
     else if (!std::strcmp(Argv[I], "--verbose"))
       Config.Verbose = true;
     else {

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_bench.py.
+
+The gate must demonstrably fail on a synthetic regressed report and on a
+fingerprint flip, and pass on identical or improved reports — this is the
+evidence CI leans on when it trusts a green check_bench step.
+
+Run directly (``python3 tools/test_check_bench.py``) or via ctest
+(registered as ``check_bench_selftest``).
+"""
+
+import copy
+import json
+import os
+import shutil
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import check_bench
+
+
+def report(wall=10.0, cached=4.0, fingerprint="deadbeef00000000", notes=()):
+    return {
+        "bench": "vs_cache",
+        "wall_seconds": wall,
+        "sections": [
+            {
+                "title": "Content-addressed version-space cache",
+                "rows": [
+                    {"label": "corpus beams", "value": 48.0, "unit": ""},
+                    {"label": "uncached (two sleeps)", "value": 8.0,
+                     "unit": "s"},
+                    {"label": "cached (two sleeps)", "value": cached,
+                     "unit": "s"},
+                ],
+                "notes": ["determinism fingerprint: " + fingerprint]
+                + list(notes),
+            }
+        ],
+    }
+
+
+class CompareTest(unittest.TestCase):
+    def test_identical_reports_pass(self):
+        r = report()
+        self.assertEqual(check_bench.compare(r, copy.deepcopy(r), 0.25), [])
+
+    def test_improvement_passes(self):
+        base = report(wall=10.0, cached=4.0)
+        fast = report(wall=6.0, cached=2.0)
+        self.assertEqual(check_bench.compare(fast, base, 0.25), [])
+
+    def test_wall_clock_regression_fails(self):
+        base = report(wall=10.0)
+        slow = report(wall=13.0)  # +30% > 25% threshold
+        problems = check_bench.compare(slow, base, 0.25)
+        self.assertTrue(any("wall_seconds" in p for p in problems), problems)
+
+    def test_timing_row_regression_fails(self):
+        base = report(cached=4.0)
+        slow = report(cached=6.0)  # +50% on one row only
+        problems = check_bench.compare(slow, base, 0.25)
+        self.assertTrue(
+            any("cached (two sleeps)" in p for p in problems), problems
+        )
+
+    def test_regression_within_threshold_passes(self):
+        base = report(wall=10.0, cached=4.0)
+        meh = report(wall=12.0, cached=4.9)  # +20%, +22.5%
+        self.assertEqual(check_bench.compare(meh, base, 0.25), [])
+
+    def test_fingerprint_mismatch_fails_even_when_fast(self):
+        base = report(fingerprint="deadbeef00000000")
+        flipped = report(wall=1.0, cached=0.5,
+                         fingerprint="0badc0de00000000")
+        problems = check_bench.compare(flipped, base, 0.25)
+        self.assertTrue(any("fingerprint" in p for p in problems), problems)
+
+    def test_non_timing_rows_are_ignored(self):
+        base = report()
+        cur = copy.deepcopy(base)
+        cur["sections"][0]["rows"][0]["value"] = 480.0  # unit "" row
+        self.assertEqual(check_bench.compare(cur, base, 0.25), [])
+
+    def test_error_note_fails_self_check(self):
+        bad = report(notes=["ERROR: compression results differ across "
+                            "thread counts or cache states"])
+        self.assertTrue(check_bench.self_check(bad))
+        self.assertEqual(check_bench.self_check(report()), [])
+
+
+class MainTest(unittest.TestCase):
+    """End-to-end over real files and exit codes."""
+
+    def setUp(self):
+        self.dir = tempfile.mkdtemp(prefix="check_bench_test_")
+        self.baselines = os.path.join(self.dir, "baselines")
+        os.makedirs(self.baselines)
+
+    def tearDown(self):
+        shutil.rmtree(self.dir)
+
+    def write(self, directory, name, rep):
+        path = os.path.join(directory, name)
+        with open(path, "w") as f:
+            json.dump(rep, f)
+        return path
+
+    def run_main(self, reports, extra=()):
+        return check_bench.main(
+            list(reports) + ["--baselines", self.baselines] + list(extra)
+        )
+
+    def test_green_run(self):
+        self.write(self.baselines, "BENCH_vs_cache.json", report())
+        cur = self.write(self.dir, "BENCH_vs_cache.json", report())
+        self.assertEqual(self.run_main([cur]), 0)
+
+    def test_synthetic_regression_fails(self):
+        self.write(self.baselines, "BENCH_vs_cache.json", report(wall=10.0))
+        cur = self.write(self.dir, "BENCH_vs_cache.json", report(wall=20.0))
+        self.assertEqual(self.run_main([cur]), 1)
+
+    def test_fingerprint_mismatch_fails(self):
+        self.write(self.baselines, "BENCH_vs_cache.json",
+                   report(fingerprint="deadbeef00000000"))
+        cur = self.write(self.dir, "BENCH_vs_cache.json",
+                         report(fingerprint="0badc0de00000000"))
+        self.assertEqual(self.run_main([cur]), 1)
+
+    def test_missing_baseline_skips(self):
+        cur = self.write(self.dir, "BENCH_new_bench.json", report())
+        self.assertEqual(self.run_main([cur]), 0)
+
+    def test_no_reports_is_a_usage_error(self):
+        old = os.getcwd()
+        os.chdir(self.dir)  # no BENCH_*.json here
+        try:
+            self.assertEqual(self.run_main([]), 2)
+        finally:
+            os.chdir(old)
+
+    def test_update_writes_baseline_then_gates_against_it(self):
+        cur = self.write(self.dir, "BENCH_vs_cache.json", report(wall=10.0))
+        self.assertEqual(self.run_main([cur], ["--update"]), 0)
+        baseline = os.path.join(self.baselines, "BENCH_vs_cache.json")
+        self.assertTrue(os.path.exists(baseline))
+        slow = self.write(self.dir, "BENCH_vs_cache.json", report(wall=20.0))
+        self.assertEqual(self.run_main([slow]), 1)
+
+    def test_update_still_fails_on_error_notes(self):
+        cur = self.write(self.dir, "BENCH_vs_cache.json",
+                         report(notes=["ERROR: gate tripped"]))
+        self.assertEqual(self.run_main([cur], ["--update"]), 1)
+        self.assertFalse(
+            os.path.exists(
+                os.path.join(self.baselines, "BENCH_vs_cache.json")
+            )
+        )
+
+    def test_custom_threshold(self):
+        self.write(self.baselines, "BENCH_vs_cache.json", report(wall=10.0))
+        cur = self.write(self.dir, "BENCH_vs_cache.json", report(wall=11.0))
+        self.assertEqual(self.run_main([cur], ["--threshold", "0.05"]), 1)
+        self.assertEqual(self.run_main([cur], ["--threshold", "0.25"]), 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

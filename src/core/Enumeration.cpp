@@ -7,6 +7,7 @@
 #include "obs/Trace.h"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <map>
 
@@ -20,6 +21,12 @@ constexpr double NegInf = -std::numeric_limits<double>::infinity();
 /// amortize worker scheduling, small enough to bound memory while a
 /// window's enumeration is paused for testing.
 constexpr size_t TestBatchSize = 2048;
+
+/// Candidate expansions between ShouldStop polls (deadline / cancellation
+/// checks): coarse enough that the clock read is amortized away, fine
+/// enough that an expired deadline is noticed within a fraction of a
+/// millisecond of search.
+constexpr long StopCheckInterval = 256;
 
 /// Persistent typing environment: a stack-allocated linked list so that
 /// continuations capture the environment as of their creation point. A
@@ -43,8 +50,9 @@ std::vector<TypePtr> envToVector(const TypeEnv *Env) {
 /// the emit callback aborted the search.
 class Enumerator {
 public:
-  Enumerator(const EnumerationSource &Src, long &Nodes) : Src(Src),
-                                                          Nodes(Nodes) {}
+  Enumerator(const EnumerationSource &Src, long &Nodes,
+             const std::function<bool()> &ShouldStop)
+      : Src(Src), Nodes(Nodes), ShouldStop(ShouldStop) {}
 
   using Sink = std::function<bool(ExprPtr, double, TypeContext &)>;
 
@@ -73,6 +81,14 @@ public:
         continue;
       if (--Nodes <= 0)
         return false;
+      // Deadline/cancellation poll at candidate-batch granularity. The
+      // branch on the empty default keeps the deterministic path free of
+      // clock reads entirely.
+      if (ShouldStop && ++SinceStopCheck >= StopCheckInterval) {
+        SinceStopCheck = 0;
+        if (ShouldStop())
+          return false;
+      }
       int ChildParent =
           C.ProductionIdx >= 0 ? C.ProductionIdx : ParentVariable;
       std::vector<TypePtr> ArgTypes = functionArguments(C.Ty);
@@ -106,7 +122,43 @@ private:
 
   const EnumerationSource &Src;
   long &Nodes;
+  const std::function<bool()> &ShouldStop;
+  long SinceStopCheck = 0;
 };
+
+/// Builds the ShouldStop predicate for one search: cancellation first (one
+/// relaxed load), then the wall-clock deadline. Returns an empty function
+/// when neither knob is set so the hot path stays branch-predictable and
+/// clock-free. \p Interrupted records why the search stopped early.
+std::function<bool()>
+makeShouldStop(const EnumerationParams &Params,
+               std::chrono::steady_clock::time_point Deadline,
+               bool &Interrupted) {
+  if (!Params.Cancel && Params.WallTimeoutSeconds <= 0)
+    return {};
+  const bool HasDeadline = Params.WallTimeoutSeconds > 0;
+  CancellationToken *Cancel = Params.Cancel;
+  return [Cancel, HasDeadline, Deadline, &Interrupted] {
+    if (Cancel && Cancel->cancelled()) {
+      Interrupted = true;
+      return true;
+    }
+    if (HasDeadline && std::chrono::steady_clock::now() >= Deadline) {
+      Interrupted = true;
+      return true;
+    }
+    return false;
+  };
+}
+
+std::chrono::steady_clock::time_point
+deadlineFor(const EnumerationParams &Params) {
+  if (Params.WallTimeoutSeconds <= 0)
+    return {};
+  return std::chrono::steady_clock::now() +
+         std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+             std::chrono::duration<double>(Params.WallTimeoutSeconds));
+}
 
 /// Mirrors one finished search (task or request-type group) into the
 /// metrics registry: totals as counters, effort/depth distributions as
@@ -128,10 +180,11 @@ void recordSearchMetrics(long NodesExpanded, long ProgramsEnumerated,
 
 void dc::enumerateWindow(const EnumerationSource &Src, const TypePtr &Request,
                          double Lower, double Upper, long &Nodes,
-                         const std::function<bool(ExprPtr, double)> &Emit) {
+                         const std::function<bool(ExprPtr, double)> &Emit,
+                         const std::function<bool()> &ShouldStop) {
   TypeContext Ctx;
   TypePtr Req = Ctx.instantiate(Request);
-  Enumerator E(Src, Nodes);
+  Enumerator E(Src, Nodes, ShouldStop);
   E.enumerate(ParentStart, 0, Ctx, nullptr, Req, Upper,
               [&](ExprPtr P, double Cost, TypeContext &) {
                 if (Cost < Lower)
@@ -146,6 +199,7 @@ void EnumerationStats::merge(const EnumerationStats &Other) {
   BudgetReached = std::max(BudgetReached, Other.BudgetReached);
   EffortToSolve.insert(EffortToSolve.end(), Other.EffortToSolve.begin(),
                        Other.EffortToSolve.end());
+  Interrupted = Interrupted || Other.Interrupted;
 }
 
 Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
@@ -162,6 +216,9 @@ Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
   double Upper = Params.InitialBudget;
   const bool Parallel =
       ThreadPool::resolveThreadCount(Params.NumThreads) > 1;
+  bool Interrupted = false;
+  const std::function<bool()> ShouldStop =
+      makeShouldStop(Params, deadlineFor(Params), Interrupted);
 
   // The per-candidate fold, shared by both paths: candidates arrive in
   // enumeration order with their likelihood already computed, so the
@@ -175,14 +232,15 @@ Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
     F.record({P, LogPrior, LL}, Params.FrontierSize);
   };
 
-  while (Lower < Params.MaxBudget && Nodes > 0) {
+  while (Lower < Params.MaxBudget && Nodes > 0 && !Interrupted) {
     ++Windows;
     if (!Parallel) {
       enumerateWindow(Src, T->request(), Lower, Upper, Nodes,
                       [&](ExprPtr P, double LogPrior) {
                         Fold(P, LogPrior, T->logLikelihood(P));
                         return true;
-                      });
+                      },
+                      ShouldStop);
     } else {
       // Parallel candidate testing: enumeration itself stays serial (the
       // node-budget accounting is what makes searches deterministic and
@@ -209,7 +267,11 @@ Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
                         if (Batch.size() >= TestBatchSize)
                           Flush();
                         return true;
-                      });
+                      },
+                      ShouldStop);
+      // Candidates enumerated before an interruption still get tested:
+      // a request that found its solution just before the deadline
+      // reports it.
       Flush();
     }
     if (!F.empty()) {
@@ -229,11 +291,14 @@ Frontier dc::solveTask(const EnumerationSource &Src, const TaskPtr &T,
     Stats->ProgramsEnumerated += Seen;
     Stats->BudgetReached = std::max(Stats->BudgetReached, Upper);
     Stats->EffortToSolve.push_back(EffortAtSolve);
+    Stats->Interrupted = Stats->Interrupted || Interrupted;
   }
   recordSearchMetrics(Params.NodeBudget - Nodes, Seen, Seen, Windows,
                       Upper);
   if (obs::Telemetry::enabled()) {
     obs::countAdd("enum.tasks_searched");
+    if (Interrupted)
+      obs::countAdd("enum.searches_interrupted");
     if (!F.empty()) {
       obs::countAdd("enum.tasks_solved");
       obs::observe("enum.effort_to_solve",
@@ -269,6 +334,11 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
   std::vector<EnumerationStats> GroupStats(GroupIndices.size());
   const bool Parallel =
       ThreadPool::resolveThreadCount(Params.NumThreads) > 1;
+  // All groups share one wall-clock deadline anchored at entry (they run
+  // concurrently, so a per-group anchor would overshoot the caller's
+  // budget when groups outnumber workers).
+  const std::chrono::steady_clock::time_point Deadline =
+      deadlineFor(Params);
 
   // One request-type group: its own node budget, its own effort counter.
   // Workers only ever touch the frontier/effort slots of their group's
@@ -283,6 +353,9 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
     double Upper = Params.InitialBudget;
     int Windows = 0;
     int WindowsSinceAllSolved = -1;
+    bool Interrupted = false;
+    const std::function<bool()> ShouldStop =
+        makeShouldStop(Params, Deadline, Interrupted);
 
     // Folds one candidate (with its per-task likelihood row) into the
     // group's frontiers, in enumeration order.
@@ -299,7 +372,7 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
     };
 
     std::vector<double> Row(Indices.size());
-    while (Lower < Params.MaxBudget && Nodes > 0) {
+    while (Lower < Params.MaxBudget && Nodes > 0 && !Interrupted) {
       ++Windows;
       if (!Parallel) {
         enumerateWindow(G, Request, Lower, Upper, Nodes,
@@ -308,7 +381,8 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
                             Row[K] = Tasks[Indices[K]]->logLikelihood(P);
                           Fold(P, LogPrior, Row.data());
                           return true;
-                        });
+                        },
+                        ShouldStop);
       } else {
         // Shared-grammar analog of solveTask's parallel testing: buffer
         // candidates, fan the (candidate x task) evaluator calls across
@@ -334,7 +408,8 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
                           if (Batch.size() >= TestBatchSize)
                             Flush();
                           return true;
-                        });
+                        },
+                        ShouldStop);
         Flush();
       }
       bool AllSolved = true;
@@ -355,6 +430,7 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
     GroupStats[GI].NodesExpanded = Params.NodeBudget - Nodes;
     GroupStats[GI].ProgramsEnumerated = Seen;
     GroupStats[GI].BudgetReached = Upper;
+    GroupStats[GI].Interrupted = Interrupted;
     recordSearchMetrics(Params.NodeBudget - Nodes, Seen,
                         Seen * static_cast<long>(Indices.size()), Windows,
                         Upper);
@@ -372,6 +448,7 @@ std::vector<Frontier> dc::solveTasks(const Grammar &G,
       Stats->NodesExpanded += GS.NodesExpanded;
       Stats->ProgramsEnumerated += GS.ProgramsEnumerated;
       Stats->BudgetReached = std::max(Stats->BudgetReached, GS.BudgetReached);
+      Stats->Interrupted = Stats->Interrupted || GS.Interrupted;
     }
     for (long E : Efforts)
       Stats->EffortToSolve.push_back(E);

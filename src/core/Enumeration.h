@@ -27,6 +27,8 @@
 
 namespace dc {
 
+class CancellationToken;
+
 /// Search-budget knobs for one wake phase.
 struct EnumerationParams {
   double InitialBudget = 8.0; ///< first description-length window upper bound
@@ -44,6 +46,20 @@ struct EnumerationParams {
   /// order, so frontiers and stats are bit-identical at every setting
   /// (DESIGN.md, threading model).
   int NumThreads = 1;
+  /// Wall-clock budget for one search call in seconds (0 = off, the
+  /// default). When set, the enumerator polls the clock every few hundred
+  /// candidate expansions and abandons the search once the deadline
+  /// passes — this is the paper's per-task cluster timeout, and what
+  /// dc_serve uses to honor request deadlines. A wall-clock bound trades
+  /// determinism for latency: whether a window completes now depends on
+  /// machine speed, so results are only reproducible with the timeout
+  /// off (the node/description-length budgets above remain the
+  /// deterministic default).
+  double WallTimeoutSeconds = 0;
+  /// Optional cooperative cancellation (core/ThreadPool.h): polled at the
+  /// same candidate-batch granularity as the deadline; cancelling stops
+  /// the search early with whatever the frontier holds so far. Not owned.
+  CancellationToken *Cancel = nullptr;
 };
 
 /// Cumulative effort statistics for one search.
@@ -54,6 +70,10 @@ struct EnumerationStats {
   /// Programs enumerated before each task's first solution (search-effort
   /// analog of the paper's solve times; -1 when unsolved).
   std::vector<long> EffortToSolve;
+  /// True when some search stopped early because its wall-clock deadline
+  /// expired or its CancellationToken was cancelled (never set while both
+  /// knobs are off, so the deterministic path is unaffected).
+  bool Interrupted = false;
 
   /// Folds \p Other into this: counters add, BudgetReached maxes, and
   /// Other's EffortToSolve entries append in order. Parallel solvers keep
@@ -66,10 +86,14 @@ struct EnumerationStats {
 /// Enumerates every program of type \p Request whose description length
 /// (negative log prior under \p Src) lies in [\p Lower, \p Upper), invoking
 /// \p Emit with the program and its log prior. Stops early when \p Nodes
-/// reaches zero. \p Emit returns false to abort the search.
+/// reaches zero. \p Emit returns false to abort the search. When
+/// \p ShouldStop is non-empty it is polled every few hundred candidate
+/// expansions (deadline / cancellation checks live there); returning true
+/// aborts the window.
 void enumerateWindow(const EnumerationSource &Src, const TypePtr &Request,
                      double Lower, double Upper, long &Nodes,
-                     const std::function<bool(ExprPtr, double)> &Emit);
+                     const std::function<bool(ExprPtr, double)> &Emit,
+                     const std::function<bool()> &ShouldStop = {});
 
 /// Searches for solutions to a single task under \p Src (typically the
 /// task-conditioned bigram grammar from the recognition model).

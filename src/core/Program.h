@@ -141,7 +141,10 @@ public:
   /// the term still has a redex after \p MaxSteps reductions — callers must
   /// treat exhaustion as failure rather than score or install a partially
   /// reduced term (duplicating redexes can need exponentially many steps).
-  ExprPtr betaNormalForm(int MaxSteps = 64) const;
+  /// [[nodiscard]] because silently dropping the result usually means a
+  /// call site forgot the null contract; see requireNormalForm() for sites
+  /// whose inputs are guaranteed to reduce within budget.
+  [[nodiscard]] ExprPtr betaNormalForm(int MaxSteps = 64) const;
 
   /// Replaces every occurrence of invention nodes by their bodies,
   /// recursively, producing an equivalent base-language program (used in the
@@ -196,6 +199,18 @@ int exprCompare(ExprPtr A, ExprPtr B);
 /// Unwinds a (possibly nested) application into its head and argument list,
 /// e.g. ((f a) b) -> (f, [a, b]).
 std::pair<ExprPtr, std::vector<ExprPtr>> applicationSpine(ExprPtr E);
+
+/// Debug assertion helper for the betaNormalForm null-on-exhaustion
+/// contract: call sites that can prove their input reduces within budget
+/// (e.g. a term that was already a normal form) wrap the result in
+/// requireNormalForm so an invariant violation dies loudly in debug/test
+/// builds instead of flowing a null term into scoring or library
+/// installation. Call sites that cannot prove it must branch on null.
+inline ExprPtr requireNormalForm(ExprPtr Reduced) {
+  assert(Reduced && "betaNormalForm exhausted its step budget: treat null "
+                    "as failure; never score or install this term");
+  return Reduced;
+}
 
 } // namespace dc
 

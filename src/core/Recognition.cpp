@@ -8,6 +8,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <sstream>
 
 using namespace dc;
 
@@ -301,4 +304,147 @@ std::uint64_t RecognitionModel::weightFingerprint() const {
     }
   }
   return H;
+}
+
+//===----------------------------------------------------------------------===//
+// Model checkpointing (see core/Serialization.h for the format family)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Floats travel as their IEEE-754 bit patterns in fixed-width hex: text
+/// that round-trips exactly (istream hexfloat parsing is unreliable and
+/// decimal printing is lossy), and greppable next to the grammar text.
+std::uint32_t floatBits(float F) {
+  std::uint32_t Bits;
+  static_assert(sizeof(Bits) == sizeof(F));
+  std::memcpy(&Bits, &F, sizeof(Bits));
+  return Bits;
+}
+
+float bitsToFloat(std::uint32_t Bits) {
+  float F;
+  std::memcpy(&F, &Bits, sizeof(F));
+  return F;
+}
+
+bool loadFail(std::string *ErrorOut, const std::string &Msg) {
+  if (ErrorOut && ErrorOut->empty())
+    *ErrorOut = "recognition model: " + Msg;
+  return false;
+}
+
+} // namespace
+
+void dc::saveRecognitionModel(const RecognitionModel &M, std::ostream &Out) {
+  const RecognitionParams &P = M.params();
+  Out << "recognition v1\n";
+  Out << "hidden " << P.HiddenDim << "\n";
+  Out << "bigram " << (P.Bigram ? 1 : 0) << "\n";
+  char Hex[16];
+  std::snprintf(Hex, sizeof(Hex), "%08x", floatBits(P.LogitClamp));
+  Out << "logitClamp " << Hex << "\n";
+  size_t ParamCount = M.net().parameterCount();
+  Out << "shape " << M.slotCount() << " " << M.childCount() << " "
+      << ParamCount << "\n";
+  Out << "params";
+  size_t Col = 0;
+  for (const nn::Mlp::ConstParamSegment &Seg :
+       M.net().parameterSegments())
+    for (size_t I = 0; I < Seg.Size; ++I) {
+      // 16 words per line keeps lines short without a per-word tag.
+      Out << ((Col++ % 16 == 0) ? "\n" : " ");
+      std::snprintf(Hex, sizeof(Hex), "%08x", floatBits(Seg.Param[I]));
+      Out << Hex;
+    }
+  Out << "\nend\n";
+}
+
+std::unique_ptr<RecognitionModel>
+dc::loadRecognitionModel(const Grammar &G, const TaskFeaturizer &F,
+                         std::istream &In, std::string *ErrorOut) {
+  std::string Line, Tag;
+  if (!std::getline(In, Line) || Line != "recognition v1") {
+    loadFail(ErrorOut, "missing 'recognition v1' header");
+    return nullptr;
+  }
+  RecognitionParams P;
+  int Bigram = 1;
+  std::string ClampHex;
+  int Slots = 0, Children = 0;
+  size_t ParamCount = 0;
+  for (const char *Expect : {"hidden", "bigram", "logitClamp", "shape"}) {
+    if (!std::getline(In, Line)) {
+      loadFail(ErrorOut, std::string("truncated before '") + Expect + "'");
+      return nullptr;
+    }
+    std::istringstream LS(Line);
+    LS >> Tag;
+    bool Ok = Tag == Expect;
+    if (Ok && Tag == "hidden")
+      Ok = static_cast<bool>(LS >> P.HiddenDim) && P.HiddenDim > 0;
+    else if (Ok && Tag == "bigram")
+      Ok = static_cast<bool>(LS >> Bigram);
+    else if (Ok && Tag == "logitClamp")
+      Ok = static_cast<bool>(LS >> ClampHex) && ClampHex.size() == 8;
+    else if (Ok && Tag == "shape")
+      Ok = static_cast<bool>(LS >> Slots >> Children >> ParamCount);
+    if (!Ok) {
+      loadFail(ErrorOut, "malformed '" + std::string(Expect) + "' line");
+      return nullptr;
+    }
+  }
+  P.Bigram = Bigram != 0;
+  P.LogitClamp = bitsToFloat(
+      static_cast<std::uint32_t>(std::stoul(ClampHex, nullptr, 16)));
+
+  auto M = std::make_unique<RecognitionModel>(G, F, P);
+  if (M->slotCount() != Slots || M->childCount() != Children) {
+    loadFail(ErrorOut,
+             "shape mismatch: checkpoint has " + std::to_string(Slots) +
+                 "x" + std::to_string(Children) + " slots/children, the "
+                 "supplied grammar yields " +
+                 std::to_string(M->slotCount()) + "x" +
+                 std::to_string(M->childCount()) +
+                 " (library changed since the model was trained?)");
+    return nullptr;
+  }
+  if (M->net().parameterCount() != ParamCount) {
+    loadFail(ErrorOut,
+             "parameter count mismatch: checkpoint has " +
+                 std::to_string(ParamCount) + ", the freshly shaped net " +
+                 std::to_string(M->net().parameterCount()));
+    return nullptr;
+  }
+
+  In >> Tag;
+  if (Tag != "params") {
+    loadFail(ErrorOut, "missing 'params' section");
+    return nullptr;
+  }
+  for (nn::Mlp::ParamSegment &Seg : M->net().parameterSegments())
+    for (size_t I = 0; I < Seg.Size; ++I) {
+      if (!(In >> Tag) || Tag.size() != 8) {
+        loadFail(ErrorOut, "truncated parameter block");
+        return nullptr;
+      }
+      size_t Used = 0;
+      unsigned long Bits = 0;
+      try {
+        Bits = std::stoul(Tag, &Used, 16);
+      } catch (const std::exception &) {
+        Used = 0;
+      }
+      if (Used != 8) {
+        loadFail(ErrorOut, "malformed parameter word '" + Tag + "'");
+        return nullptr;
+      }
+      Seg.Param[I] = bitsToFloat(static_cast<std::uint32_t>(Bits));
+    }
+  In >> Tag;
+  if (Tag != "end") {
+    loadFail(ErrorOut, "parameter block missing 'end'");
+    return nullptr;
+  }
+  return M;
 }

@@ -39,6 +39,8 @@
 #include "nn/Optimizer.h"
 
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 
 namespace dc {
 
@@ -123,6 +125,11 @@ public:
   nn::Mlp &net() { return Net; }
   const nn::Mlp &net() const { return Net; }
 
+  /// Network parameterization as loadRecognitionModel needs it
+  /// (HiddenDim / Bigram / LogitClamp fix the net's shape and the
+  /// prediction mapping).
+  const RecognitionParams &params() const { return Params; }
+
 private:
   int slotIndex(int ParentIdx, int ArgIdx) const;
   void fillGrammarWeights(const std::vector<float> &Logits,
@@ -139,6 +146,26 @@ private:
   std::mt19937 Rng;
   double LastLoss = 0;
 };
+
+/// Serializes a trained recognition model in the checkpoint family's
+/// line-oriented text format: a header fixing the parameterization
+/// (hidden width, bigram vs unigram, logit clamp) and the net shape,
+/// followed by the raw parameter bits (floats as 8-hex-digit bit
+/// patterns), so a load is bit-exact — predict() on the loaded model
+/// produces bit-identical grammars (SerializationTest round-trip). The
+/// grammar and featurizer themselves are not stored; a model checkpoint
+/// is only meaningful next to the grammar checkpoint it was trained
+/// against.
+void saveRecognitionModel(const RecognitionModel &M, std::ostream &Out);
+
+/// Restores a model saved by saveRecognitionModel against \p G and \p F,
+/// which must match the training-time library (production count fixes the
+/// output head) and featurizer (input width). Returns null and sets
+/// \p ErrorOut on malformed input or shape mismatch. \p G and \p F must
+/// outlive the returned model (same borrow contract as the constructor).
+std::unique_ptr<RecognitionModel>
+loadRecognitionModel(const Grammar &G, const TaskFeaturizer &F,
+                     std::istream &In, std::string *ErrorOut = nullptr);
 
 } // namespace dc
 

@@ -145,6 +145,16 @@ int dc::deserializeFrontiers(std::vector<Frontier> &Frontiers,
   return Restored;
 }
 
+std::optional<Grammar> dc::loadGrammarFile(const std::string &Path,
+                                           std::string *ErrorOut) {
+  std::ifstream In(Path);
+  if (!In) {
+    fail(ErrorOut, "cannot open " + Path);
+    return std::nullopt;
+  }
+  return deserializeGrammar(In, ErrorOut);
+}
+
 bool dc::saveCheckpoint(const std::string &Path, const Grammar &G,
                         const std::vector<Frontier> &Frontiers) {
   std::ofstream Out(Path);

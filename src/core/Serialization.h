@@ -59,6 +59,13 @@ void serializeFrontiers(const std::vector<Frontier> &Frontiers,
 int deserializeFrontiers(std::vector<Frontier> &Frontiers, std::istream &In,
                          std::string *ErrorOut = nullptr);
 
+/// Loads just the grammar section of a checkpoint file, ignoring any
+/// frontier blocks after it — the load path of dc_serve, which needs the
+/// learned library but reconstructs nothing task-specific. nullopt plus a
+/// diagnostic on failure.
+std::optional<Grammar> loadGrammarFile(const std::string &Path,
+                                       std::string *ErrorOut = nullptr);
+
 /// Convenience: grammar + frontiers to/from a file. Returns false on I/O
 /// or parse failure.
 bool saveCheckpoint(const std::string &Path, const Grammar &G,

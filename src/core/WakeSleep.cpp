@@ -156,6 +156,7 @@ std::vector<Frontier> hybridSolve(const Grammar &G,
     if (Stats) {
       Stats->NodesExpanded += Locals[I].NodesExpanded;
       Stats->ProgramsEnumerated += Locals[I].ProgramsEnumerated;
+      Stats->Interrupted = Stats->Interrupted || Locals[I].Interrupted;
     }
     if (Out[I].empty()) {
       Unsolved.push_back(Tasks[I]);
@@ -173,6 +174,7 @@ std::vector<Frontier> hybridSolve(const Grammar &G,
     if (Stats) {
       Stats->NodesExpanded += Fallback.NodesExpanded;
       Stats->ProgramsEnumerated += Fallback.ProgramsEnumerated;
+      Stats->Interrupted = Stats->Interrupted || Fallback.Interrupted;
     }
   }
   if (Stats)
@@ -215,6 +217,7 @@ WakeSleepResult dc::runWakeSleep(const DomainSpec &Domain,
   std::unique_ptr<RecognitionModel> Model;
   EnumerationParams Search = Domain.Search;
   Search.NumThreads = Config.NumThreads;
+  Search.WallTimeoutSeconds = Config.WakeTimeoutSeconds;
 
   for (int Cycle = 0; Cycle < Config.Iterations; ++Cycle) {
     CycleMetrics Metrics;

@@ -62,6 +62,13 @@ struct WakeSleepConfig {
   /// setting (see EnumerationParams::NumThreads,
   /// CompressionParams::NumThreads, and DESIGN.md, threading model).
   int NumThreads = 0;
+  /// Wall-clock bound in seconds on each wake-phase search call (per
+  /// guided task search / per shared-grammar batch, the analog of the
+  /// paper's per-task cluster timeout). 0 — the default — keeps the purely
+  /// budget-driven, bit-identical behavior; any positive value trades
+  /// that determinism for bounded latency (see
+  /// EnumerationParams::WallTimeoutSeconds).
+  double WakeTimeoutSeconds = 0;
 };
 
 /// Per-cycle measurements (Fig 7C-D and the solve-effort figures).

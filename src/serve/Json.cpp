@@ -1,0 +1,449 @@
+//===- serve/Json.cpp - Minimal JSON value, parser, and writer ------------===//
+
+#include "serve/Json.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dc::serve;
+
+Json &Json::set(std::string Key, Json Value) {
+  if (TheKind != Kind::Object) {
+    TheKind = Kind::Object;
+    Members.clear();
+  }
+  for (auto &M : Members)
+    if (M.first == Key) {
+      M.second = std::move(Value);
+      return *this;
+    }
+  Members.emplace_back(std::move(Key), std::move(Value));
+  return *this;
+}
+
+const Json *Json::find(std::string_view Key) const {
+  if (TheKind != Kind::Object)
+    return nullptr;
+  for (const auto &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  Out.push_back('"');
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\b':
+      Out += "\\b";
+      break;
+    case '\f':
+      Out += "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out.push_back(static_cast<char>(C));
+      }
+    }
+  }
+  Out.push_back('"');
+}
+
+void dumpInto(const Json &J, std::string &Out) {
+  switch (J.kind()) {
+  case Json::Kind::Null:
+    Out += "null";
+    break;
+  case Json::Kind::Bool:
+    Out += J.asBool() ? "true" : "false";
+    break;
+  case Json::Kind::Number: {
+    if (J.isInteger()) {
+      Out += std::to_string(J.asInteger());
+    } else {
+      double D = J.asNumber();
+      if (!std::isfinite(D)) {
+        // JSON has no Inf/NaN; null is the least-bad lossy encoding.
+        Out += "null";
+        break;
+      }
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "%.17g", D);
+      Out += Buf;
+    }
+    break;
+  }
+  case Json::Kind::String:
+    appendEscaped(Out, J.asString());
+    break;
+  case Json::Kind::Array: {
+    Out.push_back('[');
+    bool First = true;
+    for (const Json &Item : J.items()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      dumpInto(Item, Out);
+    }
+    Out.push_back(']');
+    break;
+  }
+  case Json::Kind::Object: {
+    Out.push_back('{');
+    bool First = true;
+    for (const auto &M : J.members()) {
+      if (!First)
+        Out.push_back(',');
+      First = false;
+      appendEscaped(Out, M.first);
+      Out.push_back(':');
+      dumpInto(M.second, Out);
+    }
+    Out.push_back('}');
+    break;
+  }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+class Parser {
+public:
+  Parser(std::string_view Text, std::string *ErrorOut)
+      : Text(Text), ErrorOut(ErrorOut) {}
+
+  std::optional<Json> run() {
+    skipSpace();
+    Json Result;
+    if (!parseValue(Result, 0))
+      return std::nullopt;
+    skipSpace();
+    if (Pos != Text.size()) {
+      error("trailing content after JSON document");
+      return std::nullopt;
+    }
+    return Result;
+  }
+
+private:
+  bool error(const std::string &Msg) {
+    if (ErrorOut && ErrorOut->empty())
+      *ErrorOut = Msg + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  void skipSpace() {
+    while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t' ||
+                                 Text[Pos] == '\n' || Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool literal(std::string_view Word) {
+    if (Text.substr(Pos, Word.size()) != Word)
+      return false;
+    Pos += Word.size();
+    return true;
+  }
+
+  bool parseValue(Json &Out, int Depth) {
+    if (Depth > Json::MaxDepth)
+      return error("nesting too deep");
+    if (Pos >= Text.size())
+      return error("unexpected end of input");
+    char C = Text[Pos];
+    switch (C) {
+    case 'n':
+      if (!literal("null"))
+        return error("invalid literal");
+      Out = Json::null();
+      return true;
+    case 't':
+      if (!literal("true"))
+        return error("invalid literal");
+      Out = Json::boolean(true);
+      return true;
+    case 'f':
+      if (!literal("false"))
+        return error("invalid literal");
+      Out = Json::boolean(false);
+      return true;
+    case '"':
+      return parseString(Out);
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      if (C == '-' || (C >= '0' && C <= '9'))
+        return parseNumber(Out);
+      return error("unexpected character");
+    }
+  }
+
+  bool parseString(Json &Out) {
+    std::string S;
+    if (!parseRawString(S))
+      return false;
+    Out = Json::string(std::move(S));
+    return true;
+  }
+
+  bool parseRawString(std::string &S) {
+    ++Pos; // opening quote
+    while (true) {
+      if (Pos >= Text.size())
+        return error("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        return true;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return error("raw control character in string");
+      if (C != '\\') {
+        S.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return error("unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        S.push_back('"');
+        break;
+      case '\\':
+        S.push_back('\\');
+        break;
+      case '/':
+        S.push_back('/');
+        break;
+      case 'n':
+        S.push_back('\n');
+        break;
+      case 'r':
+        S.push_back('\r');
+        break;
+      case 't':
+        S.push_back('\t');
+        break;
+      case 'b':
+        S.push_back('\b');
+        break;
+      case 'f':
+        S.push_back('\f');
+        break;
+      case 'u': {
+        unsigned Code = 0;
+        if (!parseHex4(Code))
+          return false;
+        // Surrogate pairs for characters outside the BMP.
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          if (Pos + 1 < Text.size() && Text[Pos] == '\\' &&
+              Text[Pos + 1] == 'u') {
+            Pos += 2;
+            unsigned Low = 0;
+            if (!parseHex4(Low))
+              return false;
+            if (Low >= 0xDC00 && Low <= 0xDFFF)
+              Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+            else
+              return error("invalid low surrogate");
+          } else {
+            return error("unpaired high surrogate");
+          }
+        } else if (Code >= 0xDC00 && Code <= 0xDFFF) {
+          return error("unpaired low surrogate");
+        }
+        appendUtf8(S, Code);
+        break;
+      }
+      default:
+        return error("unknown escape");
+      }
+    }
+  }
+
+  bool parseHex4(unsigned &Code) {
+    if (Pos + 4 > Text.size())
+      return error("truncated \\u escape");
+    Code = 0;
+    for (int I = 0; I < 4; ++I) {
+      char H = Text[Pos++];
+      Code <<= 4;
+      if (H >= '0' && H <= '9')
+        Code |= static_cast<unsigned>(H - '0');
+      else if (H >= 'a' && H <= 'f')
+        Code |= static_cast<unsigned>(H - 'a' + 10);
+      else if (H >= 'A' && H <= 'F')
+        Code |= static_cast<unsigned>(H - 'A' + 10);
+      else
+        return error("bad hex digit in \\u escape");
+    }
+    return true;
+  }
+
+  static void appendUtf8(std::string &S, unsigned Code) {
+    if (Code < 0x80) {
+      S.push_back(static_cast<char>(Code));
+    } else if (Code < 0x800) {
+      S.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+      S.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else if (Code < 0x10000) {
+      S.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+      S.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      S.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else {
+      S.push_back(static_cast<char>(0xF0 | (Code >> 18)));
+      S.push_back(static_cast<char>(0x80 | ((Code >> 12) & 0x3F)));
+      S.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      S.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    }
+  }
+
+  bool parseNumber(Json &Out) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+      ++Pos;
+    bool Integral = true;
+    if (Pos < Text.size() && Text[Pos] == '.') {
+      Integral = false;
+      ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      Integral = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Num(Text.substr(Start, Pos - Start));
+    if (Num.empty() || Num == "-")
+      return error("malformed number");
+    if (Integral) {
+      // Preserve exactness for values that fit a long long; huge integers
+      // degrade to double like every other JSON implementation.
+      errno = 0;
+      char *End = nullptr;
+      long long LL = std::strtoll(Num.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        Out = Json::integer(LL);
+        return true;
+      }
+    }
+    char *End = nullptr;
+    double D = std::strtod(Num.c_str(), &End);
+    if (!End || *End != '\0')
+      return error("malformed number");
+    Out = Json::number(D);
+    return true;
+  }
+
+  bool parseArray(Json &Out, int Depth) {
+    ++Pos; // '['
+    Out = Json::array();
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      Json Item;
+      skipSpace();
+      if (!parseValue(Item, Depth + 1))
+        return false;
+      Out.push(std::move(Item));
+      skipSpace();
+      if (Pos >= Text.size())
+        return error("unterminated array");
+      char C = Text[Pos++];
+      if (C == ']')
+        return true;
+      if (C != ',')
+        return error("expected ',' or ']' in array");
+    }
+  }
+
+  bool parseObject(Json &Out, int Depth) {
+    ++Pos; // '{'
+    Out = Json::object();
+    skipSpace();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return error("expected object key");
+      std::string Key;
+      if (!parseRawString(Key))
+        return false;
+      skipSpace();
+      if (Pos >= Text.size() || Text[Pos] != ':')
+        return error("expected ':' after object key");
+      ++Pos;
+      skipSpace();
+      Json Value;
+      if (!parseValue(Value, Depth + 1))
+        return false;
+      Out.set(std::move(Key), std::move(Value));
+      skipSpace();
+      if (Pos >= Text.size())
+        return error("unterminated object");
+      char C = Text[Pos++];
+      if (C == '}')
+        return true;
+      if (C != ',')
+        return error("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view Text;
+  std::string *ErrorOut;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::string Json::dump() const {
+  std::string Out;
+  dumpInto(*this, Out);
+  return Out;
+}
+
+std::optional<Json> Json::parse(std::string_view Text, std::string *ErrorOut) {
+  return Parser(Text, ErrorOut).run();
+}

@@ -1,0 +1,156 @@
+//===- serve/Server.h - TCP front end for the synthesis service -----------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The network layer of dc_serve: a line-delimited-JSON TCP server over a
+/// loaded Service. Thread architecture (DESIGN.md §9):
+///
+///   acceptor ──► one reader thread per connection ──► BoundedQueue
+///                                                          │
+///                                     worker pool ◄────────┘
+///
+/// Readers parse and validate requests and answer health/stats inline
+/// (those never block on search capacity); solve requests are stamped
+/// with their wall-clock deadline at *admission* and enqueued. Admission
+/// control is the queue bound: a full queue rejects immediately with
+/// `overloaded` — saturation surfaces as a structured error the client
+/// can back off on, not as unbounded queueing delay. Workers re-check
+/// the deadline at dequeue (a request that spent its budget queued gets
+/// `timeout` without searching) and pass the remainder into enumeration.
+///
+/// Graceful shutdown (requestShutdown, or shutdown() directly): stop
+/// accepting connections, reject new solves with `shutting_down`, let
+/// workers drain every admitted request, then close connections and
+/// join all threads. Admitted work is never dropped.
+///
+/// Responses may interleave on a connection (two pipelined solves finish
+/// out of order); the per-connection write lock keeps each response line
+/// atomic and clients match responses to requests by id.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SERVE_SERVER_H
+#define DC_SERVE_SERVER_H
+
+#include "serve/Protocol.h"
+#include "serve/RequestQueue.h"
+#include "serve/Service.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace dc::serve {
+
+/// Network/runtime knobs (the rest of the dc_serve command line).
+struct ServerConfig {
+  /// Port to bind; 0 asks the kernel for an ephemeral port (tests/CI —
+  /// read the chosen port from port()).
+  int Port = 0;
+  std::string BindAddress = "127.0.0.1";
+  int Workers = 2;          ///< search worker threads
+  int QueueCapacity = 16;   ///< admission bound (beyond in-flight work)
+  long DefaultTimeoutMs = 5000; ///< per-request deadline when unspecified
+  /// Reject lines longer than this before parsing (a malformed or
+  /// malicious client cannot balloon reader memory).
+  size_t MaxLineBytes = 1 << 20;
+};
+
+/// Point-in-time operational numbers (the `stats` endpoint; all counters
+/// are tracked by the server itself so they work with telemetry off).
+struct ServerStats {
+  long Accepted = 0;
+  long Rejected = 0; ///< overloaded + shutting_down
+  long Solved = 0;
+  long NoSolution = 0;
+  long Timeout = 0;
+  long BadRequest = 0;
+  size_t QueueDepth = 0;
+  int Connections = 0;
+};
+
+class Server {
+public:
+  /// Binds and starts all threads. Null + \p ErrorOut on bind failure.
+  /// \p TheService must outlive the server.
+  static std::unique_ptr<Server> start(const Service &TheService,
+                                       const ServerConfig &Config,
+                                       std::string *ErrorOut = nullptr);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// The bound port (the kernel's choice when Config.Port was 0).
+  int port() const { return BoundPort; }
+
+  /// Async-signal-friendly shutdown trigger: flips an atomic and nudges
+  /// the acceptor; safe from any thread, returns immediately. The
+  /// blocking teardown runs in waitForShutdown()/the destructor — never
+  /// inside a reader or signal context, which would self-deadlock.
+  void requestShutdown();
+
+  /// Blocks until a shutdown request arrives (requestShutdown or a
+  /// client-triggered fatal error), then performs the full graceful
+  /// teardown: drain, join, close. Idempotent.
+  void waitForShutdown();
+
+  /// True once requestShutdown has been called.
+  bool shuttingDown() const {
+    return ShutdownRequested.load(std::memory_order_acquire);
+  }
+
+  ServerStats stats() const;
+
+private:
+  struct Connection;
+  struct Pending;
+
+  Server() = default;
+
+  void acceptLoop();
+  void readerLoop(std::shared_ptr<Connection> Conn);
+  void workerLoop();
+  void handleLine(const std::shared_ptr<Connection> &Conn,
+                  const std::string &Line);
+  void handleSolve(const std::shared_ptr<Connection> &Conn, const Json &Id,
+                   const Json &Params);
+  Json buildStats() const;
+  void teardown();
+
+  const Service *TheService = nullptr;
+  ServerConfig Config;
+  int ListenFd = -1;
+  int BoundPort = 0;
+  /// Self-pipe: requestShutdown writes one byte; the acceptor polls the
+  /// read end alongside the listen socket and wakes immediately.
+  int WakePipe[2] = {-1, -1};
+
+  std::unique_ptr<BoundedQueue<Pending>> Queue;
+  std::thread Acceptor;
+  std::vector<std::thread> Workers;
+  std::mutex ReadersMutex;
+  std::vector<std::thread> Readers; ///< guarded by ReadersMutex
+  std::mutex ConnectionsMutex;
+  std::vector<std::weak_ptr<Connection>> Connections;
+
+  std::atomic<bool> ShutdownRequested{false};
+  std::atomic<bool> TornDown{false};
+  std::mutex TeardownMutex;
+
+  // Operational counters (see ServerStats).
+  std::atomic<long> Accepted{0}, Rejected{0}, Solved{0}, NoSolution{0},
+      Timeouts{0}, BadRequests{0};
+  std::atomic<int> OpenConnections{0};
+};
+
+} // namespace dc::serve
+
+#endif // DC_SERVE_SERVER_H

@@ -1,0 +1,147 @@
+//===- serve/Service.cpp - Checkpoint-backed synthesis service core -------===//
+
+#include "serve/Service.h"
+
+#include "domains/ListDomain.h"
+#include "domains/LogoDomain.h"
+#include "domains/OrigamiDomain.h"
+#include "domains/PhysicsDomain.h"
+#include "domains/RegexDomain.h"
+#include "domains/RegressionDomain.h"
+#include "domains/TextDomain.h"
+#include "domains/TowerDomain.h"
+
+#include <fstream>
+
+using namespace dc;
+using namespace dc::serve;
+
+namespace {
+
+bool fail(std::string *ErrorOut, const std::string &Msg) {
+  if (ErrorOut && ErrorOut->empty())
+    *ErrorOut = Msg;
+  return false;
+}
+
+/// Mirrors dc_run's domain table (same names, same default corpus seeds)
+/// so a checkpoint written by `dc_run --domain X --seed S` loads under
+/// `dc_serve --domain X --seed S` with the identical primitive registry.
+std::optional<DomainSpec> domainByName(const std::string &Name,
+                                       unsigned Seed) {
+  if (Name == "list")
+    return makeListDomain(Seed ? Seed : 1);
+  if (Name == "text")
+    return makeTextDomain(Seed ? Seed : 2);
+  if (Name == "logo")
+    return makeLogoDomain();
+  if (Name == "tower")
+    return makeTowerDomain();
+  if (Name == "regex")
+    return makeRegexDomain(Seed ? Seed : 6);
+  if (Name == "regression")
+    return makeRegressionDomain(Seed ? Seed : 7);
+  if (Name == "physics")
+    return makePhysicsDomain(Seed ? Seed : 11);
+  if (Name == "origami")
+    return makeOrigamiDomain(Seed ? Seed : 5);
+  return std::nullopt;
+}
+
+} // namespace
+
+std::unique_ptr<Service> Service::create(const ServiceConfig &Config,
+                                         std::string *ErrorOut) {
+  std::optional<DomainSpec> Domain =
+      domainByName(Config.DomainName, Config.DomainSeed);
+  if (!Domain) {
+    fail(ErrorOut, "unknown domain '" + Config.DomainName + "'");
+    return nullptr;
+  }
+  // Construct in place (no make_unique: the constructor is private).
+  std::unique_ptr<Service> S(new Service());
+  S->Config = Config;
+  S->Domain = std::make_unique<DomainSpec>(std::move(*Domain));
+
+  if (Config.CheckpointPath.empty()) {
+    S->Lib = Grammar::uniform(S->Domain->BasePrimitives);
+  } else {
+    std::string Err;
+    std::optional<Grammar> Loaded =
+        loadGrammarFile(Config.CheckpointPath, &Err);
+    if (!Loaded) {
+      fail(ErrorOut, "cannot load checkpoint " + Config.CheckpointPath +
+                         ": " + Err);
+      return nullptr;
+    }
+    S->Lib = std::move(*Loaded);
+  }
+
+  if (!Config.ModelPath.empty()) {
+    std::ifstream In(Config.ModelPath);
+    if (!In) {
+      fail(ErrorOut, "cannot open model " + Config.ModelPath);
+      return nullptr;
+    }
+    std::string Err;
+    S->Model =
+        loadRecognitionModel(S->Lib, *S->Domain->Featurizer, In, &Err);
+    if (!S->Model) {
+      fail(ErrorOut,
+           "cannot load model " + Config.ModelPath + ": " + Err);
+      return nullptr;
+    }
+  }
+  return S;
+}
+
+TaskPtr Service::taskByName(const std::string &Name) const {
+  for (const TaskPtr &T : Domain->TrainTasks)
+    if (T->name() == Name)
+      return T;
+  for (const TaskPtr &T : Domain->TestTasks)
+    if (T->name() == Name)
+      return T;
+  return nullptr;
+}
+
+Outcome Service::solve(const TaskPtr &T, double RemainingSeconds,
+                       long NodeBudget, int FrontierSize) const {
+  Outcome Out;
+  if (RemainingSeconds <= 0) {
+    // The request spent its whole deadline queued; don't start a search
+    // that is already lost.
+    Out.TheStatus = Outcome::Status::Timeout;
+    Out.DeadlineExpired = true;
+    return Out;
+  }
+
+  EnumerationParams Params = Domain->Search;
+  Params.NumThreads = 1; // concurrency lives at the request level
+  Params.WallTimeoutSeconds = RemainingSeconds;
+  if (NodeBudget > 0)
+    Params.NodeBudget = NodeBudget;
+  else if (Config.DefaultNodeBudget > 0)
+    Params.NodeBudget = Config.DefaultNodeBudget;
+  if (Params.NodeBudget > Config.MaxNodeBudget)
+    Params.NodeBudget = Config.MaxNodeBudget;
+  Params.FrontierSize =
+      FrontierSize > 0 ? FrontierSize : Config.DefaultFrontierSize;
+
+  EnumerationStats Stats;
+  if (Model) {
+    ContextualGrammar CG = Model->predict(*T); // thread-safe by contract
+    Out.Beam = solveTask(CG, T, Params, &Stats);
+  } else {
+    Out.Beam = solveTask(Lib, T, Params, &Stats);
+  }
+  Out.NodesExpanded = Stats.NodesExpanded;
+  Out.ProgramsEnumerated = Stats.ProgramsEnumerated;
+  Out.DeadlineExpired = Stats.Interrupted;
+  if (!Out.Beam.empty())
+    Out.TheStatus = Outcome::Status::Solved;
+  else
+    Out.TheStatus = Stats.Interrupted ? Outcome::Status::Timeout
+                                      : Outcome::Status::NoSolution;
+  return Out;
+}

@@ -1,0 +1,111 @@
+//===- serve/Service.h - Checkpoint-backed synthesis service core ---------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport-independent heart of dc_serve: load a domain, a learned
+/// grammar checkpoint, and (optionally) a trained recognition model once
+/// at startup, then answer solve() calls — each one wake-phase search
+/// with a per-request wall-clock deadline and node budget.
+///
+/// Concurrency model: solve() is const and thread-safe; the server's
+/// worker pool calls it from many threads at once. Each request searches
+/// single-threaded (EnumerationParams::NumThreads = 1) so concurrency
+/// comes from request-level parallelism, keeping every individual answer
+/// deterministic given its budgets: two clients sending the same request
+/// with the same node budget get bit-identical programs regardless of
+/// server load (the deadline can only truncate a search, and a truncated
+/// search reports DeadlineExpired).
+///
+/// Splitting Service from Server keeps the search semantics testable
+/// without sockets — ServeTest drives Service directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SERVE_SERVICE_H
+#define DC_SERVE_SERVICE_H
+
+#include "core/Recognition.h"
+#include "core/Serialization.h"
+#include "domains/Domain.h"
+
+#include <memory>
+#include <string>
+
+namespace dc::serve {
+
+/// Startup configuration (what the dc_serve command line sets).
+struct ServiceConfig {
+  std::string DomainName = "list";
+  unsigned DomainSeed = 0; ///< 0 = the domain's default corpus seed
+  /// Grammar checkpoint (dc_run --checkpoint output). Empty = serve the
+  /// domain's base primitives with uniform weights (useful for smoke
+  /// tests; a real deployment serves a learned library).
+  std::string CheckpointPath;
+  /// Optional trained recognition model (saveRecognitionModel output).
+  /// Must have been trained against the grammar in CheckpointPath.
+  std::string ModelPath;
+  long DefaultNodeBudget = 0;  ///< 0 = the domain's tuned budget
+  long MaxNodeBudget = 5000000; ///< cap on client-requested budgets
+  int DefaultFrontierSize = 5;
+};
+
+/// One solve() answer.
+struct Outcome {
+  enum class Status {
+    Solved,     ///< frontier is non-empty
+    NoSolution, ///< budgets exhausted without a hit
+    Timeout     ///< deadline expired before anything was found
+  };
+  Status TheStatus = Status::NoSolution;
+  Frontier Beam;
+  long NodesExpanded = 0;
+  long ProgramsEnumerated = 0;
+  /// The wall-clock deadline fired at some point during the search (also
+  /// set for Solved outcomes whose beam was truncated by the deadline —
+  /// the result is valid but possibly not what an unbounded search finds).
+  bool DeadlineExpired = false;
+};
+
+/// Loaded, immutable synthesis state shared by all workers.
+class Service {
+public:
+  /// Loads everything; null + \p ErrorOut on unknown domain, unreadable
+  /// checkpoint, or model/grammar shape mismatch.
+  static std::unique_ptr<Service> create(const ServiceConfig &Config,
+                                         std::string *ErrorOut = nullptr);
+
+  /// Runs one search. Thread-safe (const state only).
+  ///
+  /// \p RemainingSeconds wall-clock budget; <= 0 means the deadline
+  /// already passed and an immediate Timeout is returned without
+  /// searching. \p NodeBudget 0 uses the default; values are clamped to
+  /// MaxNodeBudget. \p FrontierSize 0 uses the default.
+  Outcome solve(const TaskPtr &T, double RemainingSeconds, long NodeBudget,
+                int FrontierSize) const;
+
+  /// Corpus lookup by task name (train first, then test); nullptr when
+  /// absent.
+  TaskPtr taskByName(const std::string &Name) const;
+
+  const DomainSpec &domain() const { return *Domain; }
+  const Grammar &grammar() const { return Lib; }
+  bool hasRecognitionModel() const { return Model != nullptr; }
+  const ServiceConfig &config() const { return Config; }
+
+private:
+  Service() = default;
+
+  ServiceConfig Config;
+  /// unique_ptr keeps Domain's address stable: the recognition model
+  /// borrows the featurizer, and DomainSpec hands out TaskPtrs.
+  std::unique_ptr<DomainSpec> Domain;
+  Grammar Lib; ///< address-stable for the same reason (Model borrows it)
+  std::unique_ptr<RecognitionModel> Model;
+};
+
+} // namespace dc::serve
+
+#endif // DC_SERVE_SERVICE_H

@@ -2,10 +2,12 @@
 
 #include "core/Enumeration.h"
 #include "core/Primitives.h"
+#include "core/ThreadPool.h"
 #include "core/ProgramParser.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <set>
@@ -238,8 +240,9 @@ TEST_F(EnumerationTest, BigramGuidanceFindsSolutionFaster) {
   ASSERT_FALSE(F.empty());
   ASSERT_FALSE(Neutral.EffortToSolve.empty());
   ASSERT_FALSE(Guided.EffortToSolve.empty());
-  if (Neutral.EffortToSolve[0] > 0 && Guided.EffortToSolve[0] > 0)
+  if (Neutral.EffortToSolve[0] > 0 && Guided.EffortToSolve[0] > 0) {
     EXPECT_LE(Guided.EffortToSolve[0], Neutral.EffortToSolve[0]);
+  }
 }
 
 namespace {
@@ -390,4 +393,110 @@ TEST_F(EnumerationTest, EffortStaysAlignedWithTaskOrder) {
     else
       EXPECT_EQ(Stats.EffortToSolve, Baseline) << "NumThreads=" << Threads;
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Wall-clock deadlines and cooperative cancellation (the dc_serve path)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A task no small program solves (outputs unrelated to inputs), with a
+/// node budget big enough that only the deadline/cancellation can end the
+/// search quickly.
+TaskPtr impossibleTask() {
+  std::vector<Example> Ex = {
+      {{Value::makeList({Value::makeInt(1)})},
+       Value::makeList({Value::makeInt(77), Value::makeInt(-3)})},
+      {{Value::makeList({Value::makeInt(2)})},
+       Value::makeList({Value::makeInt(12), Value::makeInt(99)})},
+  };
+  return std::make_shared<Task>(
+      "impossible", Type::arrow(tList(tInt()), tList(tInt())), Ex);
+}
+
+} // namespace
+
+TEST_F(EnumerationTest, DeadlineExpiredStopsSearch) {
+  EnumerationParams Params;
+  Params.MaxBudget = 18.0;
+  Params.NodeBudget = 200000000; // would run for minutes without a deadline
+  Params.WallTimeoutSeconds = 0.05;
+
+  auto Start = std::chrono::steady_clock::now();
+  EnumerationStats Stats;
+  Frontier F = solveTask(G, impossibleTask(), Params, &Stats);
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  EXPECT_TRUE(F.empty());
+  EXPECT_TRUE(Stats.Interrupted);
+  // Polling granularity is a few hundred expansions, so the overshoot is
+  // milliseconds; 10s is pure CI paranoia.
+  EXPECT_LT(Elapsed, 10.0);
+  EXPECT_LT(Stats.NodesExpanded, Params.NodeBudget);
+}
+
+TEST_F(EnumerationTest, GenerousDeadlineKeepsResultsBitIdentical) {
+  // The determinism contract: a deadline that never fires must not change
+  // anything — the ShouldStop hook only ever truncates, never reorders.
+  TaskPtr T = listTask("double", [](const std::vector<long> &In) {
+    std::vector<long> Out;
+    for (long V : In)
+      Out.push_back(2 * V);
+    return Out;
+  });
+  Grammar Focused = focusedGrammar();
+  EnumerationParams Params;
+  Params.MaxBudget = 16;
+  Params.NodeBudget = 2000000;
+
+  EnumerationStats Plain;
+  Frontier FPlain = solveTask(Focused, T, Params, &Plain);
+  Params.WallTimeoutSeconds = 3600.0;
+  EnumerationStats Timed;
+  Frontier FTimed = solveTask(Focused, T, Params, &Timed);
+
+  EXPECT_FALSE(Plain.Interrupted);
+  EXPECT_FALSE(Timed.Interrupted);
+  EXPECT_EQ(searchFingerprint({FPlain}, Plain),
+            searchFingerprint({FTimed}, Timed));
+}
+
+TEST_F(EnumerationTest, CancellationTokenStopsSearch) {
+  CancellationToken Cancel;
+  Cancel.cancel(); // already cancelled: the first poll must end the search
+
+  EnumerationParams Params;
+  Params.MaxBudget = 18.0;
+  Params.NodeBudget = 200000000;
+  Params.Cancel = &Cancel;
+
+  EnumerationStats Stats;
+  Frontier F = solveTask(G, impossibleTask(), Params, &Stats);
+  EXPECT_TRUE(F.empty());
+  EXPECT_TRUE(Stats.Interrupted);
+  // The poll interval bounds how far a cancelled search can run.
+  EXPECT_LT(Stats.NodesExpanded, 100000);
+}
+
+TEST_F(EnumerationTest, SharedGrammarSolverHonorsDeadline) {
+  std::vector<TaskPtr> Tasks = {impossibleTask()};
+  EnumerationParams Params;
+  Params.MaxBudget = 18.0;
+  Params.NodeBudget = 200000000;
+  Params.WallTimeoutSeconds = 0.05;
+
+  auto Start = std::chrono::steady_clock::now();
+  EnumerationStats Stats;
+  auto Frontiers = solveTasks(G, Tasks, Params, &Stats);
+  double Elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - Start)
+                       .count();
+
+  ASSERT_EQ(Frontiers.size(), 1u);
+  EXPECT_TRUE(Frontiers[0].empty());
+  EXPECT_TRUE(Stats.Interrupted);
+  EXPECT_LT(Elapsed, 10.0);
 }

@@ -206,3 +206,20 @@ TEST_F(ProgramTest, SubexpressionsDeduplicated) {
   // (+ 1 1), (+ 1), +, 1 — the second "1" is shared.
   EXPECT_EQ(Subs.size(), 4u);
 }
+
+TEST_F(ProgramTest, RequireNormalFormPassesThroughSuccess) {
+  ExprPtr Reduced =
+      requireNormalForm(parseProgram("((lambda $0) 1)")->betaNormalForm());
+  ASSERT_NE(Reduced, nullptr);
+  EXPECT_EQ(Reduced->show(), "1");
+}
+
+TEST_F(ProgramTest, RequireNormalFormDiesOnExhaustion) {
+  // The assertion helper turns the silent null footgun into a loud debug
+  // failure at call sites that believe exhaustion cannot happen. (The
+  // repo builds with assertions on in every configuration.)
+  ExprPtr Omega = parseProgram("((lambda ($0 $0)) (lambda ($0 $0)))");
+  ASSERT_NE(Omega, nullptr);
+  EXPECT_DEATH((void)requireNormalForm(Omega->betaNormalForm(8)),
+               "exhausted its step budget");
+}

@@ -3,6 +3,7 @@
 #include "core/Serialization.h"
 
 #include "core/Primitives.h"
+#include "core/Recognition.h"
 #include "core/ProgramParser.h"
 
 #include <gtest/gtest.h>
@@ -205,5 +206,86 @@ TEST_F(SerializationTest, LoadRejectsMissingFile) {
   std::vector<Frontier> Fs;
   std::string Err;
   EXPECT_FALSE(loadCheckpoint("/nonexistent/path/ckpt", G2, Fs, &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+//===----------------------------------------------------------------------===//
+// Recognition model round-trip (the dc_serve --model load path)
+//===----------------------------------------------------------------------===//
+
+TEST_F(SerializationTest, RecognitionModelRoundTrip) {
+  // Train a small model, save it, load it against the same grammar and
+  // featurizer, and require bit-exact restoration: identical parameter
+  // fingerprint and bit-identical predict() grammars. Anything weaker
+  // would make served answers depend on whether the model came from
+  // training or from a checkpoint.
+  Grammar Base = Grammar::uniform(prims::functionalCore());
+  IoFeaturizer Featurizer;
+  RecognitionParams RP;
+  RP.HiddenDim = 16;
+  RP.TrainingSteps = 120;
+  RP.Seed = 3;
+  RecognitionModel Model(Base, Featurizer, RP);
+
+  std::vector<Example> Ex;
+  for (long X : {1, 2, 3, 5, 8})
+    Ex.push_back({{Value::makeInt(X)}, Value::makeInt(X + 1)});
+  auto T = std::make_shared<Task>("inc", Type::arrow(tInt(), tInt()), Ex);
+  Model.trainOnPairs({{T, parseProgram("(lambda (+ $0 1))"), -3.0}});
+
+  std::stringstream SS;
+  saveRecognitionModel(Model, SS);
+  std::string Err;
+  std::unique_ptr<RecognitionModel> Loaded =
+      loadRecognitionModel(Base, Featurizer, SS, &Err);
+  ASSERT_TRUE(Loaded) << Err;
+
+  EXPECT_EQ(Loaded->weightFingerprint(), Model.weightFingerprint());
+  EXPECT_EQ(Loaded->slotCount(), Model.slotCount());
+  EXPECT_EQ(Loaded->childCount(), Model.childCount());
+
+  ContextualGrammar Want = Model.predict(*T);
+  ContextualGrammar Got = Loaded->predict(*T);
+  ASSERT_EQ(Got.parentCount(), Want.parentCount());
+  for (int Parent = -2; Parent <
+       static_cast<int>(Want.productions().size());
+       ++Parent)
+    for (int Arg = 0; Arg < Want.maxArity(); ++Arg) {
+      const Grammar &W = Want.slot(Parent, Arg);
+      const Grammar &L = Got.slot(Parent, Arg);
+      ASSERT_EQ(W.productions().size(), L.productions().size());
+      EXPECT_EQ(W.logVariable(), L.logVariable()); // bit-identical
+      for (size_t I = 0; I < W.productions().size(); ++I)
+        EXPECT_EQ(W.productions()[I].LogWeight,
+                  L.productions()[I].LogWeight);
+    }
+}
+
+TEST_F(SerializationTest, RecognitionModelRejectsShapeMismatch) {
+  Grammar Base = Grammar::uniform(prims::functionalCore());
+  IoFeaturizer Featurizer;
+  RecognitionParams RP;
+  RP.HiddenDim = 16;
+  RP.TrainingSteps = 10;
+  RecognitionModel Model(Base, Featurizer, RP);
+
+  std::stringstream SS;
+  saveRecognitionModel(Model, SS);
+
+  // A grammar with a different production count cannot host the saved
+  // net: the output head's width no longer matches.
+  Grammar Smaller = Grammar::uniform(
+      {prims::functionalCore()[0], prims::functionalCore()[1]});
+  std::string Err;
+  EXPECT_EQ(loadRecognitionModel(Smaller, Featurizer, SS, &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST_F(SerializationTest, RecognitionModelRejectsGarbage) {
+  Grammar Base = Grammar::uniform(prims::functionalCore());
+  IoFeaturizer Featurizer;
+  std::istringstream Bad("recognition v1\nhidden nope\n");
+  std::string Err;
+  EXPECT_EQ(loadRecognitionModel(Base, Featurizer, Bad, &Err), nullptr);
   EXPECT_FALSE(Err.empty());
 }

@@ -1,0 +1,606 @@
+//===- tests/serve/ServeTest.cpp - Synthesis service unit tests -----------===//
+//
+// Covers the dc_serve stack bottom-up: the JSON codec, the protocol
+// bridges (type strings, typed JSON<->Value), the bounded admission
+// queue, the Service search semantics (deadlines, budgets, concurrent
+// determinism), and an in-process end-to-end Server exercise over real
+// sockets (also the TSan entry point for the serve threading model).
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Json.h"
+#include "serve/Protocol.h"
+#include "serve/RequestQueue.h"
+#include "serve/Server.h"
+#include "serve/Service.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <thread>
+
+using namespace dc;
+using namespace dc::serve;
+
+//===----------------------------------------------------------------------===//
+// Json
+//===----------------------------------------------------------------------===//
+
+TEST(ServeJsonTest, ParseDumpRoundTrip) {
+  const std::string Text =
+      R"({"id":7,"method":"solve","params":{"xs":[1,-2,3.5,true,false,null],"s":"a\nb\"c"}})";
+  std::string Err;
+  std::optional<Json> J = Json::parse(Text, &Err);
+  ASSERT_TRUE(J) << Err;
+  // dump() re-parses to the same dump (canonical fixed point).
+  std::optional<Json> J2 = Json::parse(J->dump());
+  ASSERT_TRUE(J2);
+  EXPECT_EQ(J->dump(), J2->dump());
+  EXPECT_EQ(J->find("id")->asInteger(), 7);
+  EXPECT_TRUE(J->find("params")->find("xs")->items()[3].asBool());
+  EXPECT_EQ(J->find("params")->find("s")->asString(), "a\nb\"c");
+}
+
+TEST(ServeJsonTest, IntegersStayExact) {
+  std::optional<Json> J = Json::parse("[9007199254740993,2.5,-0]");
+  ASSERT_TRUE(J);
+  EXPECT_TRUE(J->items()[0].isInteger());
+  EXPECT_EQ(J->items()[0].asInteger(), 9007199254740993LL); // > 2^53
+  EXPECT_FALSE(J->items()[1].isInteger());
+  EXPECT_EQ(J->dump(), "[9007199254740993,2.5,0]");
+}
+
+TEST(ServeJsonTest, ErrorsCarryOffsets) {
+  std::string Err;
+  EXPECT_FALSE(Json::parse("{\"a\":}", &Err));
+  EXPECT_NE(Err.find("offset"), std::string::npos);
+  Err.clear();
+  EXPECT_FALSE(Json::parse("[1,2] trailing", &Err));
+  EXPECT_NE(Err.find("trailing"), std::string::npos);
+  Err.clear();
+  EXPECT_FALSE(Json::parse("\"unterminated", &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(ServeJsonTest, DepthLimitIsEnforced) {
+  std::string Deep(Json::MaxDepth + 8, '[');
+  std::string Err;
+  EXPECT_FALSE(Json::parse(Deep, &Err));
+  EXPECT_NE(Err.find("deep"), std::string::npos);
+  // One level below the cap parses fine.
+  std::string Ok;
+  for (int I = 0; I < Json::MaxDepth - 1; ++I)
+    Ok += "[";
+  Ok += "1";
+  for (int I = 0; I < Json::MaxDepth - 1; ++I)
+    Ok += "]";
+  EXPECT_TRUE(Json::parse(Ok));
+}
+
+TEST(ServeJsonTest, UnicodeEscapesDecodeToUtf8) {
+  std::optional<Json> J = Json::parse(R"("é😀")");
+  ASSERT_TRUE(J);
+  EXPECT_EQ(J->asString(), "\xc3\xa9\xf0\x9f\x98\x80"); // é + 😀
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol: type strings
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocolTest, TypeStringsRoundTripThroughShow) {
+  for (const char *Src :
+       {"int", "list(int)", "int -> int", "int -> list(int) -> bool",
+        "(int -> int) -> list(int) -> list(int)", "list(list(char))",
+        "list(t0) -> list(t0)"}) {
+    std::string Err;
+    TypePtr T = parseTypeString(Src, &Err);
+    ASSERT_TRUE(T) << Src << ": " << Err;
+    EXPECT_EQ(T->show(), Src);
+  }
+}
+
+TEST(ServeProtocolTest, TypeStringErrors) {
+  for (const char *Bad : {"", "->", "int ->", "(int", "list(", "list(int"}) {
+    std::string Err;
+    EXPECT_EQ(parseTypeString(Bad, &Err), nullptr) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol: typed JSON <-> Value
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocolTest, JsonToValueFollowsTheType) {
+  ValuePtr V = jsonToValue(*Json::parse("[1,2,3]"), tList(tInt()));
+  ASSERT_TRUE(V);
+  ASSERT_EQ(V->asList().size(), 3u);
+  EXPECT_EQ(V->asList()[1]->asInt(), 2);
+
+  // The same number becomes an int or a real depending on the type.
+  EXPECT_TRUE(jsonToValue(*Json::parse("3"), tInt())->isInt());
+  EXPECT_TRUE(jsonToValue(*Json::parse("3"), tReal())->isReal());
+  // ...but a fractional number cannot be an int.
+  std::string Err;
+  EXPECT_EQ(jsonToValue(*Json::parse("3.5"), tInt(), &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+
+  // Strings become char lists; chars need exactly one character.
+  ValuePtr S = jsonToValue(*Json::parse("\"hi\""), tString());
+  ASSERT_TRUE(S);
+  EXPECT_EQ(*Value::toString(S), "hi");
+  EXPECT_EQ(jsonToValue(*Json::parse("\"hi\""), tChar()), nullptr);
+  EXPECT_EQ(jsonToValue(*Json::parse("\"h\""), tChar())->asChar(), 'h');
+
+  // Polymorphic types have no data representation.
+  EXPECT_EQ(jsonToValue(*Json::parse("1"), t0()), nullptr);
+}
+
+TEST(ServeProtocolTest, ValueToJsonRendering) {
+  EXPECT_EQ(valueToJson(Value::makeInt(-4)).dump(), "-4");
+  EXPECT_EQ(valueToJson(Value::makeBool(true)).dump(), "true");
+  EXPECT_EQ(valueToJson(Value::makeChar('x')).dump(), "\"x\"");
+  EXPECT_EQ(valueToJson(Value::makeString("abc")).dump(), "\"abc\"");
+  EXPECT_EQ(valueToJson(Value::makeList({Value::makeInt(1),
+                                         Value::makeInt(2)}))
+                .dump(),
+            "[1,2]");
+}
+
+//===----------------------------------------------------------------------===//
+// Protocol: envelopes
+//===----------------------------------------------------------------------===//
+
+TEST(ServeProtocolTest, RequestEnvelopeParses) {
+  auto R = parseRequestLine(
+      R"({"id":"a1","method":"solve","params":{"task":"t"}})");
+  ASSERT_TRUE(R);
+  EXPECT_EQ(R->Id.asString(), "a1");
+  EXPECT_EQ(R->Method, "solve");
+  EXPECT_EQ(R->Params.find("task")->asString(), "t");
+
+  std::string Err;
+  EXPECT_FALSE(parseRequestLine(R"({"id":1})", &Err));
+  EXPECT_NE(Err.find("method"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, SolveParamsInlineTask) {
+  auto P = Json::parse(
+      R"json({"name":"idy","request":"list(int) -> list(int)",
+          "examples":[{"inputs":[[1,2]],"output":[1,2]}],
+          "timeout_ms":250,"node_budget":1000})json");
+  ASSERT_TRUE(P);
+  std::string Err;
+  auto SP = parseSolveParams(*P, &Err);
+  ASSERT_TRUE(SP) << Err;
+  ASSERT_TRUE(SP->InlineTask);
+  EXPECT_EQ(SP->InlineTask->name(), "idy");
+  EXPECT_EQ(SP->InlineTask->request()->show(), "list(int) -> list(int)");
+  EXPECT_EQ(SP->TimeoutMs, 250);
+  EXPECT_EQ(SP->NodeBudget, 1000);
+  // The built task scores programs: identity solves it.
+  EXPECT_EQ(SP->InlineTask->examples().size(), 1u);
+}
+
+TEST(ServeProtocolTest, SolveParamsRejectsArityMismatch) {
+  auto P = Json::parse(
+      R"({"request":"int -> int -> int",
+          "examples":[{"inputs":[1],"output":2}]})");
+  ASSERT_TRUE(P);
+  std::string Err;
+  EXPECT_FALSE(parseSolveParams(*P, &Err));
+  EXPECT_NE(Err.find("inputs"), std::string::npos);
+}
+
+TEST(ServeProtocolTest, ResponseBuilders) {
+  Json Ok = makeOkResponse(Json::integer(3), Json::string("r"));
+  EXPECT_EQ(Ok.dump(), R"({"id":3,"ok":true,"result":"r"})");
+  Json Bad = makeErrorResponse(Json::null(), errc::Overloaded, "full");
+  EXPECT_EQ(
+      Bad.dump(),
+      R"({"id":null,"ok":false,"error":{"code":"overloaded","message":"full"}})");
+}
+
+//===----------------------------------------------------------------------===//
+// BoundedQueue
+//===----------------------------------------------------------------------===//
+
+TEST(ServeQueueTest, CapacityBoundsAdmission) {
+  BoundedQueue<int> Q(2);
+  EXPECT_TRUE(Q.tryPush(1));
+  EXPECT_TRUE(Q.tryPush(2));
+  EXPECT_FALSE(Q.tryPush(3)); // full: the `overloaded` signal
+  EXPECT_EQ(Q.depth(), 2u);
+  EXPECT_EQ(*Q.pop(), 1);
+  EXPECT_TRUE(Q.tryPush(3)); // space again
+}
+
+TEST(ServeQueueTest, CloseStopsAdmissionButDrains) {
+  BoundedQueue<int> Q(4);
+  ASSERT_TRUE(Q.tryPush(1));
+  ASSERT_TRUE(Q.tryPush(2));
+  Q.close();
+  EXPECT_FALSE(Q.tryPush(3)); // `shutting_down`
+  EXPECT_TRUE(Q.closed());
+  EXPECT_EQ(*Q.pop(), 1); // admitted work is never dropped
+  EXPECT_EQ(*Q.pop(), 2);
+  EXPECT_FALSE(Q.pop().has_value()); // worker exit signal
+}
+
+TEST(ServeQueueTest, ConcurrentProducersAndConsumers) {
+  // 4 producers × 250 items through a tiny queue, drained by 3 consumers:
+  // the consumed multiset must be exactly the produced one. Runs under
+  // TSan in CI (the Serve suite is in the TSan job's regex).
+  BoundedQueue<int> Q(8);
+  constexpr int Producers = 4, PerProducer = 250;
+  std::atomic<long> Sum{0};
+  std::atomic<int> Count{0};
+
+  std::vector<std::thread> Consumers;
+  for (int I = 0; I < 3; ++I)
+    Consumers.emplace_back([&] {
+      while (std::optional<int> V = Q.pop()) {
+        Sum.fetch_add(*V, std::memory_order_relaxed);
+        Count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  std::vector<std::thread> Prods;
+  for (int P = 0; P < Producers; ++P)
+    Prods.emplace_back([&Q, P] {
+      for (int I = 0; I < PerProducer; ++I) {
+        int V = P * PerProducer + I;
+        while (!Q.tryPush(V)) // full: spin like a retrying client
+          std::this_thread::yield();
+      }
+    });
+  for (std::thread &T : Prods)
+    T.join();
+  Q.close();
+  for (std::thread &T : Consumers)
+    T.join();
+
+  const long N = Producers * PerProducer;
+  EXPECT_EQ(Count.load(), N);
+  EXPECT_EQ(Sum.load(), N * (N - 1) / 2);
+}
+
+//===----------------------------------------------------------------------===//
+// Service
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+TaskPtr identityTask() {
+  std::vector<Example> Ex = {
+      {{Value::makeList({Value::makeInt(1), Value::makeInt(2)})},
+       Value::makeList({Value::makeInt(1), Value::makeInt(2)})},
+      {{Value::makeList({Value::makeInt(7)})},
+       Value::makeList({Value::makeInt(7)})},
+  };
+  return std::make_shared<Task>(
+      "identity", Type::arrow(tList(tInt()), tList(tInt())), Ex);
+}
+
+TaskPtr unsolvableTask() {
+  // The same input maps to two different outputs: no program satisfies
+  // both examples, so only budgets or deadlines end the search.
+  std::vector<Example> Ex = {
+      {{Value::makeInt(1)}, Value::makeInt(2)},
+      {{Value::makeInt(1)}, Value::makeInt(3)},
+  };
+  return std::make_shared<Task>("unsolvable", Type::arrow(tInt(), tInt()),
+                                Ex);
+}
+
+std::unique_ptr<Service> makeListService() {
+  ServiceConfig C;
+  C.DomainName = "list";
+  C.DefaultNodeBudget = 50000;
+  std::string Err;
+  std::unique_ptr<Service> S = Service::create(C, &Err);
+  EXPECT_TRUE(S) << Err;
+  return S;
+}
+
+std::string beamSignature(const Frontier &F) {
+  std::string Sig;
+  for (const FrontierEntry &E : F.entries()) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "|%.17g", E.LogPrior);
+    Sig += E.Program->show() + Buf;
+  }
+  return Sig;
+}
+
+} // namespace
+
+TEST(ServeServiceTest, UnknownDomainFails) {
+  ServiceConfig C;
+  C.DomainName = "no-such-domain";
+  std::string Err;
+  EXPECT_EQ(Service::create(C, &Err), nullptr);
+  EXPECT_NE(Err.find("no-such-domain"), std::string::npos);
+}
+
+TEST(ServeServiceTest, MissingCheckpointFails) {
+  ServiceConfig C;
+  C.DomainName = "list";
+  C.CheckpointPath = "/nonexistent/lib.ckpt";
+  std::string Err;
+  EXPECT_EQ(Service::create(C, &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(ServeServiceTest, SolvesIdentityInline) {
+  std::unique_ptr<Service> S = makeListService();
+  ASSERT_TRUE(S);
+  Outcome O = S->solve(identityTask(), /*RemainingSeconds=*/60.0,
+                       /*NodeBudget=*/0, /*FrontierSize=*/0);
+  EXPECT_EQ(O.TheStatus, Outcome::Status::Solved);
+  EXPECT_FALSE(O.DeadlineExpired);
+  ASSERT_FALSE(O.Beam.empty());
+  EXPECT_EQ(O.Beam.best()->Program->show(), "(lambda $0)");
+  EXPECT_GT(O.NodesExpanded, 0);
+}
+
+TEST(ServeServiceTest, ExpiredDeadlineShortCircuits) {
+  std::unique_ptr<Service> S = makeListService();
+  ASSERT_TRUE(S);
+  Outcome O = S->solve(identityTask(), /*RemainingSeconds=*/-1.0, 0, 0);
+  EXPECT_EQ(O.TheStatus, Outcome::Status::Timeout);
+  EXPECT_TRUE(O.DeadlineExpired);
+  EXPECT_EQ(O.NodesExpanded, 0); // never searched
+}
+
+TEST(ServeServiceTest, DeadlineDuringSearchReportsTimeout) {
+  std::unique_ptr<Service> S = makeListService();
+  ASSERT_TRUE(S);
+  Outcome O = S->solve(unsolvableTask(), /*RemainingSeconds=*/0.05,
+                       /*NodeBudget=*/100000000, 0);
+  EXPECT_EQ(O.TheStatus, Outcome::Status::Timeout);
+  EXPECT_TRUE(O.DeadlineExpired);
+  EXPECT_TRUE(O.Beam.empty());
+}
+
+TEST(ServeServiceTest, NodeBudgetIsClampedToConfiguredMax) {
+  ServiceConfig C;
+  C.DomainName = "list";
+  C.MaxNodeBudget = 20000;
+  std::string Err;
+  std::unique_ptr<Service> S = Service::create(C, &Err);
+  ASSERT_TRUE(S) << Err;
+  Outcome O = S->solve(unsolvableTask(), 60.0,
+                       /*NodeBudget=*/100000000, 0);
+  EXPECT_EQ(O.TheStatus, Outcome::Status::NoSolution);
+  EXPECT_LE(O.NodesExpanded, 20000 + 1024); // slack: batch granularity
+}
+
+TEST(ServeServiceTest, CorpusLookupFindsTrainTasks) {
+  std::unique_ptr<Service> S = makeListService();
+  ASSERT_TRUE(S);
+  ASSERT_FALSE(S->domain().TrainTasks.empty());
+  const std::string &Name = S->domain().TrainTasks.front()->name();
+  EXPECT_EQ(S->taskByName(Name), S->domain().TrainTasks.front());
+  EXPECT_EQ(S->taskByName("no such task"), nullptr);
+}
+
+TEST(ServeServiceTest, ConcurrentSolvesAreDeterministic) {
+  // The acceptance bar: N threads solving the same request against one
+  // shared Service get bit-identical beams. Runs under TSan in CI.
+  std::unique_ptr<Service> S = makeListService();
+  ASSERT_TRUE(S);
+  constexpr int N = 4;
+  std::vector<std::string> Sigs(N);
+  std::vector<std::thread> Threads;
+  for (int I = 0; I < N; ++I)
+    Threads.emplace_back([&, I] {
+      Outcome O = S->solve(identityTask(), 60.0, 50000, 0);
+      Sigs[I] = O.TheStatus == Outcome::Status::Solved
+                    ? beamSignature(O.Beam)
+                    : "unsolved";
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  for (int I = 1; I < N; ++I)
+    EXPECT_EQ(Sigs[I], Sigs[0]) << "thread " << I;
+  EXPECT_NE(Sigs[0], "unsolved");
+}
+
+//===----------------------------------------------------------------------===//
+// Server end-to-end (sockets, workers, shutdown)
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Minimal blocking client for the line protocol.
+class TestClient {
+public:
+  explicit TestClient(int Port) {
+    Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in Addr{};
+    Addr.sin_family = AF_INET;
+    Addr.sin_port = htons(static_cast<uint16_t>(Port));
+    ::inet_pton(AF_INET, "127.0.0.1", &Addr.sin_addr);
+    Connected = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr),
+                          sizeof(Addr)) == 0;
+  }
+  ~TestClient() {
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  bool connected() const { return Connected; }
+
+  void sendLine(const std::string &Body) {
+    std::string Line = Body + "\n";
+    ASSERT_EQ(::send(Fd, Line.data(), Line.size(), MSG_NOSIGNAL),
+              static_cast<ssize_t>(Line.size()));
+  }
+
+  Json recvLine() {
+    while (Buffer.find('\n') == std::string::npos) {
+      char Chunk[4096];
+      ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+      if (N <= 0)
+        return Json::null();
+      Buffer.append(Chunk, static_cast<size_t>(N));
+    }
+    size_t NL = Buffer.find('\n');
+    std::string Line = Buffer.substr(0, NL);
+    Buffer.erase(0, NL + 1);
+    std::optional<Json> J = Json::parse(Line);
+    return J ? *J : Json::null();
+  }
+
+  Json roundTrip(const std::string &Body) {
+    sendLine(Body);
+    return recvLine();
+  }
+
+private:
+  int Fd = -1;
+  bool Connected = false;
+  std::string Buffer;
+};
+
+constexpr const char *IdentityRequest =
+    R"json({"id":1,"method":"solve","params":{"request":"list(int) -> list(int)",)json"
+    R"json("examples":[{"inputs":[[1,2,3]],"output":[1,2,3]},{"inputs":[[4]],"output":[4]}],)json"
+    R"json("timeout_ms":60000,"node_budget":50000}})json";
+
+std::string slowRequest(const char *Id, long TimeoutMs) {
+  return std::string(R"({"id":")") + Id +
+         R"(","method":"solve","params":{"request":"int -> int",)" +
+         R"("examples":[{"inputs":[1],"output":2},{"inputs":[1],"output":3}],)" +
+         R"("timeout_ms":)" + std::to_string(TimeoutMs) +
+         R"(,"node_budget":100000000}})";
+}
+
+} // namespace
+
+TEST(ServeServerTest, EndToEndSolveHealthStats) {
+  std::unique_ptr<Service> Svc = makeListService();
+  ASSERT_TRUE(Svc);
+  ServerConfig SC;
+  SC.Workers = 2;
+  std::string Err;
+  std::unique_ptr<Server> Srv = Server::start(*Svc, SC, &Err);
+  ASSERT_TRUE(Srv) << Err;
+  ASSERT_GT(Srv->port(), 0);
+
+  TestClient C(Srv->port());
+  ASSERT_TRUE(C.connected());
+
+  Json Health = C.roundTrip(R"({"id":"h","method":"health"})");
+  ASSERT_TRUE(Health.find("ok"));
+  EXPECT_TRUE(Health.find("ok")->asBool());
+  EXPECT_EQ(Health.find("result")->find("domain")->asString(), "list");
+
+  Json Solve = C.roundTrip(IdentityRequest);
+  ASSERT_TRUE(Solve.find("ok"));
+  ASSERT_TRUE(Solve.find("ok")->asBool()) << Solve.dump();
+  const Json *Result = Solve.find("result");
+  EXPECT_EQ(Result->find("status")->asString(), "solved");
+  ASSERT_FALSE(Result->find("programs")->items().empty());
+  EXPECT_EQ(
+      Result->find("programs")->items()[0].find("program")->asString(),
+      "(lambda $0)");
+
+  // Past-deadline request: structured timeout, not a hang or crash.
+  Json Timeout = C.roundTrip(slowRequest("t", 1));
+  EXPECT_FALSE(Timeout.find("ok")->asBool());
+  EXPECT_EQ(Timeout.find("error")->find("code")->asString(), "timeout");
+
+  // Unknown things are structured errors too.
+  Json Unknown =
+      C.roundTrip(R"({"id":9,"method":"solve","params":{"task":"?"}})");
+  EXPECT_EQ(Unknown.find("error")->find("code")->asString(),
+            "unknown_task");
+  Json BadMethod = C.roundTrip(R"({"id":10,"method":"frobnicate"})");
+  EXPECT_EQ(BadMethod.find("error")->find("code")->asString(),
+            "unknown_method");
+  Json NotJson = C.roundTrip("not json at all");
+  EXPECT_EQ(NotJson.find("error")->find("code")->asString(),
+            "bad_request");
+
+  Json Stats = C.roundTrip(R"({"id":"s","method":"stats"})");
+  const Json *SR = Stats.find("result");
+  EXPECT_EQ(SR->find("solved")->asInteger(), 1);
+  EXPECT_EQ(SR->find("timeout")->asInteger(), 1);
+  EXPECT_GE(SR->find("accepted")->asInteger(), 2);
+
+  Srv->requestShutdown();
+  Srv->waitForShutdown();
+  ServerStats Final = Srv->stats();
+  EXPECT_EQ(Final.Solved, 1);
+  EXPECT_EQ(Final.Timeout, 1);
+}
+
+TEST(ServeServerTest, OverloadRejectionAndGracefulDrain) {
+  std::unique_ptr<Service> Svc = makeListService();
+  ASSERT_TRUE(Svc);
+  ServerConfig SC;
+  SC.Workers = 1;
+  SC.QueueCapacity = 1;
+  std::string Err;
+  std::unique_ptr<Server> Srv = Server::start(*Svc, SC, &Err);
+  ASSERT_TRUE(Srv) << Err;
+
+  // A occupies the worker, B fills the queue (poll the stats endpoint to
+  // sequence deterministically), C must bounce off admission control.
+  TestClient A(Srv->port()), B(Srv->port()), C(Srv->port()),
+      Probe(Srv->port());
+  ASSERT_TRUE(A.connected() && B.connected() && C.connected() &&
+              Probe.connected());
+
+  auto occupancy = [&]() -> std::pair<long, long> {
+    Json S = Probe.roundTrip(R"({"id":"p","method":"stats"})");
+    const Json *R = S.find("result");
+    return {R->find("accepted")->asInteger(),
+            R->find("queue_depth")->asInteger()};
+  };
+  auto waitFor = [&](long Accepted, long Depth) {
+    for (int I = 0; I < 400; ++I) {
+      if (occupancy() == std::make_pair(Accepted, Depth))
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+
+  A.sendLine(slowRequest("a", 3000));
+  ASSERT_TRUE(waitFor(1, 0)) << "A never reached the worker";
+  B.sendLine(slowRequest("b", 3000));
+  ASSERT_TRUE(waitFor(2, 1)) << "B never queued";
+
+  Json Rejected = C.roundTrip(slowRequest("c", 3000));
+  EXPECT_FALSE(Rejected.find("ok")->asBool());
+  EXPECT_EQ(Rejected.find("error")->find("code")->asString(),
+            "overloaded");
+
+  // Shutdown with A in flight and B queued: both drain to answers (their
+  // task is unsolvable, so timeouts), post-shutdown work is rejected as
+  // shutting_down, and teardown joins every thread.
+  Srv->requestShutdown();
+  Json Refused = Probe.roundTrip(slowRequest("d", 3000));
+  EXPECT_EQ(Refused.find("error")->find("code")->asString(),
+            "shutting_down");
+
+  Json RespA = A.recvLine();
+  EXPECT_EQ(RespA.find("id")->asString(), "a");
+  EXPECT_EQ(RespA.find("error")->find("code")->asString(), "timeout");
+  Json RespB = B.recvLine();
+  EXPECT_EQ(RespB.find("id")->asString(), "b");
+  EXPECT_EQ(RespB.find("error")->find("code")->asString(), "timeout");
+
+  Srv->waitForShutdown();
+  ServerStats Final = Srv->stats();
+  EXPECT_EQ(Final.Accepted, 2);
+  EXPECT_GE(Final.Rejected, 2); // C overloaded + D shutting_down
+  EXPECT_EQ(Final.Timeout, 2);
+}

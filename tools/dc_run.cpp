@@ -40,12 +40,18 @@ void usage(const char *Argv0) {
       stderr,
       "usage: %s [--domain NAME] [--variant NAME] [--iterations N]\n"
       "          [--minibatch N] [--seed N] [--node-budget N]\n"
-      "          [--threads N] [--checkpoint PATH] [--resume PATH]\n"
-      "          [--metrics-out PATH] [--trace-out PATH] [--no-vs-cache]\n"
-      "          [--verbose]\n"
+      "          [--threads N] [--wake-timeout SEC] [--checkpoint PATH]\n"
+      "          [--resume PATH] [--metrics-out PATH] [--trace-out PATH]\n"
+      "          [--no-vs-cache] [--verbose]\n"
       "--threads: 0 = one per core (default), 1 = serial, N = at most N;\n"
       "           covers wake search, compression sleep, and dreaming —\n"
       "           results are identical at every setting\n"
+      "--wake-timeout: wall-clock bound in seconds on each wake-phase\n"
+      "           search (per guided task / per shared-grammar batch).\n"
+      "           Trades determinism for latency: the default (off)\n"
+      "           keeps results bit-identical across machines; any\n"
+      "           positive value makes which windows finish depend on\n"
+      "           machine speed\n"
       "--no-vs-cache: disable the version-space shard cache and rewrite\n"
       "               memo in abstraction sleep (escape hatch; results are\n"
       "               bit-identical either way, only wall-clock changes)\n"
@@ -135,6 +141,8 @@ int main(int Argc, char **Argv) {
       NodeBudget = std::atol(Next());
     else if (!std::strcmp(Argv[I], "--threads"))
       Config.NumThreads = std::atoi(Next());
+    else if (!std::strcmp(Argv[I], "--wake-timeout"))
+      Config.WakeTimeoutSeconds = std::atof(Next());
     else if (!std::strcmp(Argv[I], "--checkpoint"))
       CheckpointPath = Next();
     else if (!std::strcmp(Argv[I], "--resume"))

@@ -1,0 +1,208 @@
+//===- tools/dc_serve.cpp - Long-running synthesis service ----------------===//
+//
+// Serves solve requests over line-delimited JSON TCP against a learned
+// grammar checkpoint (and optionally a trained recognition model):
+//
+//   dc_run --domain list --iterations 3 --checkpoint lib.ckpt
+//   dc_serve --domain list --checkpoint lib.ckpt --port 7777
+//
+//   $ printf '%s\n' '{"id":1,"method":"solve","params":{"task":"..."}}' |
+//       nc 127.0.0.1 7777
+//
+// tools/dc_client.py wraps the protocol for scripting and CI. SIGTERM or
+// SIGINT triggers graceful shutdown: stop accepting, drain in-flight
+// requests, flush telemetry, exit 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Telemetry.h"
+#include "obs/Trace.h"
+#include "serve/Server.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <thread>
+#include <unistd.h>
+
+using namespace dc;
+using namespace dc::serve;
+
+namespace {
+
+void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--domain NAME] [--seed N] [--checkpoint PATH]\n"
+      "          [--model PATH] [--port N] [--port-file PATH]\n"
+      "          [--workers N] [--queue N] [--default-timeout-ms N]\n"
+      "          [--node-budget N] [--max-node-budget N]\n"
+      "          [--metrics-out PATH] [--trace-out PATH] [--verbose]\n"
+      "--checkpoint: grammar checkpoint from dc_run (omit to serve the\n"
+      "              domain's base primitives with uniform weights)\n"
+      "--model:      trained recognition model (saveRecognitionModel\n"
+      "              format) matching the checkpoint's grammar\n"
+      "--port:       TCP port on 127.0.0.1; 0 (default) = ephemeral —\n"
+      "              the chosen port is printed and, with --port-file,\n"
+      "              written there for scripts to pick up\n"
+      "--workers:    concurrent search workers (default 2)\n"
+      "--queue:      admission bound; requests beyond it are rejected\n"
+      "              with the structured 'overloaded' error (default 16)\n"
+      "--default-timeout-ms: per-request deadline when the request sets\n"
+      "              none (default 5000)\n"
+      "domains: list text logo tower regex regression physics origami\n",
+      Argv0);
+}
+
+/// Signal handling via the self-pipe trick: the handler only write()s (one
+/// of the few async-signal-safe calls); a watcher thread does the real
+/// shutdown work in normal thread context.
+int SignalPipe[2] = {-1, -1};
+
+void onSignal(int) {
+  char Byte = 1;
+  [[maybe_unused]] ssize_t N = ::write(SignalPipe[1], &Byte, 1);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  ServiceConfig SvcConfig;
+  ServerConfig SrvConfig;
+  std::string PortFile, MetricsPath, TracePath;
+  bool Verbose = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc) {
+        usage(Argv[0]);
+        std::exit(2);
+      }
+      return Argv[++I];
+    };
+    if (!std::strcmp(Argv[I], "--domain"))
+      SvcConfig.DomainName = Next();
+    else if (!std::strcmp(Argv[I], "--seed"))
+      SvcConfig.DomainSeed = static_cast<unsigned>(std::atoi(Next()));
+    else if (!std::strcmp(Argv[I], "--checkpoint"))
+      SvcConfig.CheckpointPath = Next();
+    else if (!std::strcmp(Argv[I], "--model"))
+      SvcConfig.ModelPath = Next();
+    else if (!std::strcmp(Argv[I], "--port"))
+      SrvConfig.Port = std::atoi(Next());
+    else if (!std::strcmp(Argv[I], "--port-file"))
+      PortFile = Next();
+    else if (!std::strcmp(Argv[I], "--workers"))
+      SrvConfig.Workers = std::atoi(Next());
+    else if (!std::strcmp(Argv[I], "--queue"))
+      SrvConfig.QueueCapacity = std::atoi(Next());
+    else if (!std::strcmp(Argv[I], "--default-timeout-ms"))
+      SrvConfig.DefaultTimeoutMs = std::atol(Next());
+    else if (!std::strcmp(Argv[I], "--node-budget"))
+      SvcConfig.DefaultNodeBudget = std::atol(Next());
+    else if (!std::strcmp(Argv[I], "--max-node-budget"))
+      SvcConfig.MaxNodeBudget = std::atol(Next());
+    else if (!std::strcmp(Argv[I], "--metrics-out"))
+      MetricsPath = Next();
+    else if (!std::strcmp(Argv[I], "--trace-out"))
+      TracePath = Next();
+    else if (!std::strcmp(Argv[I], "--verbose"))
+      Verbose = true;
+    else {
+      usage(Argv[0]);
+      return 2;
+    }
+  }
+
+  // Telemetry is write-only: enabling it records serve.* metrics without
+  // changing any answer (same contract as dc_run).
+  if (!MetricsPath.empty() || !TracePath.empty() || Verbose) {
+    obs::Telemetry::setEnabled(true);
+    obs::MetricsRegistry::global().reset();
+    obs::Tracer::global().clear();
+  }
+
+  std::string Err;
+  std::unique_ptr<Service> Svc = Service::create(SvcConfig, &Err);
+  if (!Svc) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("domain %s: %zu productions, %zu train + %zu test tasks%s\n",
+              Svc->domain().Name.c_str(),
+              Svc->grammar().productions().size(),
+              Svc->domain().TrainTasks.size(),
+              Svc->domain().TestTasks.size(),
+              Svc->hasRecognitionModel() ? ", recognition model loaded"
+                                         : "");
+
+  std::unique_ptr<Server> Srv = Server::start(*Svc, SrvConfig, &Err);
+  if (!Srv) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+
+  if (::pipe(SignalPipe) != 0) {
+    std::fprintf(stderr, "error: pipe() failed\n");
+    return 1;
+  }
+  struct sigaction SA {};
+  SA.sa_handler = onSignal;
+  ::sigaction(SIGTERM, &SA, nullptr);
+  ::sigaction(SIGINT, &SA, nullptr);
+  std::thread SignalWatcher([&Srv] {
+    char Byte;
+    while (::read(SignalPipe[0], &Byte, 1) < 0 && errno == EINTR) {
+    }
+    std::printf("shutting down: draining in-flight requests...\n");
+    std::fflush(stdout);
+    Srv->requestShutdown();
+  });
+
+  std::printf("dc_serve listening on %s:%d (%d workers, queue %d)\n",
+              SrvConfig.BindAddress.c_str(), Srv->port(), SrvConfig.Workers,
+              SrvConfig.QueueCapacity);
+  std::fflush(stdout);
+  if (!PortFile.empty()) {
+    std::ofstream Out(PortFile);
+    Out << Srv->port() << "\n";
+  }
+
+  Srv->waitForShutdown();
+
+  // Unblock the watcher if shutdown came from somewhere other than a
+  // signal (e.g. a future admin endpoint); double-close is avoided by
+  // closing exactly once here.
+  char Byte = 1;
+  [[maybe_unused]] ssize_t N = ::write(SignalPipe[1], &Byte, 1);
+  SignalWatcher.join();
+  ::close(SignalPipe[0]);
+  ::close(SignalPipe[1]);
+
+  ServerStats Final = Srv->stats();
+  std::printf("served %ld requests (%ld solved, %ld no-solution, "
+              "%ld timeout, %ld rejected, %ld bad)\n",
+              Final.Accepted, Final.Solved, Final.NoSolution, Final.Timeout,
+              Final.Rejected, Final.BadRequest);
+
+  if (!MetricsPath.empty()) {
+    std::ofstream Out(MetricsPath);
+    if (!Out || !(Out << obs::MetricsRegistry::global().toJson())) {
+      std::fprintf(stderr, "error: cannot write %s\n", MetricsPath.c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", MetricsPath.c_str());
+  }
+  if (!TracePath.empty()) {
+    std::ofstream Out(TracePath);
+    if (!Out || !(Out << obs::Tracer::global().toJson())) {
+      std::fprintf(stderr, "error: cannot write %s\n", TracePath.c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", TracePath.c_str());
+  }
+  return 0;
+}

@@ -353,6 +353,13 @@ dc::serve::parseSolveParams(const Json &Params, std::string *ErrorOut) {
     return std::nullopt;
   }
   SolveParams SP;
+  if (const Json *Domain = Params.find("domain")) {
+    if (!Domain->isString() || Domain->asString().empty()) {
+      setError(ErrorOut, "'domain' must be a non-empty string");
+      return std::nullopt;
+    }
+    SP.Domain = Domain->asString();
+  }
   const Json *TaskName = Params.find("task");
   if (TaskName) {
     if (!TaskName->isString() || TaskName->asString().empty()) {
@@ -380,6 +387,48 @@ dc::serve::parseSolveParams(const Json &Params, std::string *ErrorOut) {
   SP.NodeBudget = NodeBudget;
   SP.FrontierSize = static_cast<int>(FrontierSize);
   return SP;
+}
+
+std::optional<ReloadParams>
+dc::serve::parseReloadParams(const Json &Params, std::string *ErrorOut) {
+  ReloadParams RP;
+  if (Params.isNull())
+    return RP; // bare reload: default domain, current files
+  if (!Params.isObject()) {
+    setError(ErrorOut, "'reload' params must be an object");
+    return std::nullopt;
+  }
+  auto ReadString = [&](const char *Key, bool AllowEmpty,
+                        std::optional<std::string> &Out) {
+    const Json *J = Params.find(Key);
+    if (!J)
+      return true;
+    if (!J->isString() || (!AllowEmpty && J->asString().empty())) {
+      setError(ErrorOut, std::string("'") + Key + "' must be a " +
+                             (AllowEmpty ? "string" : "non-empty string"));
+      return false;
+    }
+    Out = J->asString();
+    return true;
+  };
+  std::optional<std::string> Domain;
+  if (!ReadString("domain", /*AllowEmpty=*/false, Domain))
+    return std::nullopt;
+  if (Domain)
+    RP.Domain = *Domain;
+  // Empty strings are meaningful overrides: "" clears the model (serve
+  // grammar-only) or the checkpoint (serve uniform base weights).
+  if (!ReadString("checkpoint", /*AllowEmpty=*/true, RP.Checkpoint) ||
+      !ReadString("model", /*AllowEmpty=*/true, RP.Model))
+    return std::nullopt;
+  if (const Json *Seed = Params.find("seed")) {
+    if (!Seed->isNumber() || !Seed->isInteger() || Seed->asInteger() < 0) {
+      setError(ErrorOut, "'seed' must be a non-negative integer");
+      return std::nullopt;
+    }
+    RP.Seed = static_cast<unsigned>(Seed->asInteger());
+  }
+  return RP;
 }
 
 //===----------------------------------------------------------------------===//

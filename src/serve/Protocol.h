@@ -9,7 +9,8 @@
 ///
 /// Request envelope:
 ///
-///   {"id": <any json>, "method": "solve"|"health"|"stats", "params": {...}}
+///   {"id": <any json>, "method": "solve"|"health"|"stats"|"reload",
+///    "params": {...}}
 ///
 /// The id is echoed verbatim in the response so clients may pipeline
 /// requests over one connection. "solve" params:
@@ -18,11 +19,21 @@
 ///   {"name": "...", "request": "list(int) -> int",
 ///    "examples": [{"inputs": [[1,2]], "output": 3}, ...]}
 ///
-/// plus optional "timeout_ms", "node_budget", "frontier_size" overrides.
+/// plus optional "timeout_ms", "node_budget", "frontier_size" overrides
+/// and an optional "domain" string routing the request to one of the
+/// server's loaded domains (absent = the default, first-loaded domain).
+///
+/// "reload" is the admin request behind hot checkpoint swaps: params
+/// are an optional "domain" (default = the default domain) plus
+/// optional "checkpoint"/"model"/"seed" overrides; unspecified fields
+/// keep the domain's current configuration, so `{"method":"reload"}`
+/// re-reads the same files from disk (the SIGHUP semantics).
+///
 /// Responses are {"id":..., "ok":true, "result":{...}} or {"id":...,
 /// "ok":false, "error":{"code":..., "message":...}}; the closed set of
 /// error codes is documented in DESIGN.md §9 (bad_request, unknown_method,
-/// unknown_task, overloaded, shutting_down, timeout, internal).
+/// unknown_task, unknown_domain, overloaded, shutting_down, timeout,
+/// reload_failed, internal).
 ///
 /// This header also hosts the two format bridges the protocol needs and
 /// the core deliberately lacks: a parser for `Type::show()` strings
@@ -50,9 +61,11 @@ namespace errc {
 inline constexpr const char *BadRequest = "bad_request";
 inline constexpr const char *UnknownMethod = "unknown_method";
 inline constexpr const char *UnknownTask = "unknown_task";
+inline constexpr const char *UnknownDomain = "unknown_domain";
 inline constexpr const char *Overloaded = "overloaded";
 inline constexpr const char *ShuttingDown = "shutting_down";
 inline constexpr const char *Timeout = "timeout";
+inline constexpr const char *ReloadFailed = "reload_failed";
 inline constexpr const char *Internal = "internal";
 } // namespace errc
 
@@ -95,6 +108,7 @@ std::optional<Request> parseRequestLine(const std::string &Line,
 struct SolveParams {
   std::string TaskName;
   TaskPtr InlineTask;
+  std::string Domain;    ///< route to this domain; empty: the default
   long TimeoutMs = -1;   ///< <0: use the server default
   long NodeBudget = 0;   ///< 0: use the server default
   int FrontierSize = 0;  ///< 0: use the server default
@@ -106,6 +120,21 @@ struct SolveParams {
 /// shape or conversion error.
 std::optional<SolveParams> parseSolveParams(const Json &Params,
                                             std::string *ErrorOut = nullptr);
+
+/// Parsed "reload" params. Unset optionals mean "keep the domain's
+/// current configuration for this field".
+struct ReloadParams {
+  std::string Domain; ///< empty: the default domain
+  std::optional<std::string> Checkpoint;
+  std::optional<std::string> Model;
+  std::optional<unsigned> Seed;
+};
+
+/// Validates and extracts reload params (params may be absent/null: a
+/// bare reload re-reads the default domain's current files). Returns
+/// nullopt + \p ErrorOut (a bad_request message) on shape errors.
+std::optional<ReloadParams>
+parseReloadParams(const Json &Params, std::string *ErrorOut = nullptr);
 
 /// {"id":..., "ok":true, "result":...}
 Json makeOkResponse(const Json &Id, Json Result);

@@ -32,21 +32,30 @@
 
 namespace dc::serve {
 
+/// Why a tryPush was (not) admitted, decided under the queue lock. The
+/// distinction matters to clients: Full means "back off and retry"
+/// (`overloaded`), Closed means "this server is going away"
+/// (`shutting_down`). A bare bool + follow-up closed() check would race
+/// with a concurrent close() and misreport one as the other.
+enum class PushResult { Ok, Full, Closed };
+
 template <typename T> class BoundedQueue {
 public:
   explicit BoundedQueue(size_t Capacity) : Capacity(Capacity ? Capacity : 1) {}
 
-  /// Non-blocking admission: false when the queue is at capacity or
-  /// closed (the caller distinguishes the two via closed()).
-  bool tryPush(T Item) {
+  /// Non-blocking admission. The returned reason is consistent with the
+  /// queue state at the moment of the attempt (single lock acquisition).
+  [[nodiscard]] PushResult tryPush(T Item) {
     {
       std::lock_guard<std::mutex> Lock(M);
-      if (Closed || Items.size() >= Capacity)
-        return false;
+      if (Closed)
+        return PushResult::Closed;
+      if (Items.size() >= Capacity)
+        return PushResult::Full;
       Items.push_back(std::move(Item));
     }
     NotEmpty.notify_one();
-    return true;
+    return PushResult::Ok;
   }
 
   /// Blocks until an item is available or the queue is closed and fully

@@ -77,10 +77,15 @@ struct Server::Connection {
   std::atomic<bool> Closed{false};
 };
 
-/// One admitted solve request waiting for a worker.
+/// One admitted solve request waiting for a worker. Svc is the registry
+/// snapshot captured at admission: the search runs — and answers — on
+/// this epoch even if a reload publishes a newer one first, and the
+/// refcount keeps the old epoch alive exactly as long as someone is
+/// still searching on it.
 struct Server::Pending {
   Json Id;
   TaskPtr Task;
+  ServiceRegistry::Snapshot Svc;
   Clock::time_point Admitted;
   Clock::time_point Deadline;
   long NodeBudget = 0;
@@ -99,17 +104,25 @@ std::mutex ShutdownCvMutex;
 std::condition_variable ShutdownCv;
 } // namespace
 
-std::unique_ptr<Server> Server::start(const Service &TheService,
+std::unique_ptr<Server> Server::start(ServiceRegistry &Registry,
                                       const ServerConfig &Config,
                                       std::string *ErrorOut) {
+  // Unconditional write: a caller reusing the error buffer must not see
+  // a stale message from a previous failed start.
   auto Fail = [&](const std::string &Msg) -> std::unique_ptr<Server> {
-    if (ErrorOut && ErrorOut->empty())
+    if (ErrorOut)
       *ErrorOut = Msg + " (" + std::strerror(errno) + ")";
     return nullptr;
   };
 
+  if (!Registry.defaultService()) {
+    if (ErrorOut)
+      *ErrorOut = "service registry is empty (install a domain first)";
+    return nullptr;
+  }
+
   std::unique_ptr<Server> S(new Server());
-  S->TheService = &TheService;
+  S->Registry = &Registry;
   S->Config = Config;
   if (S->Config.Workers < 1)
     S->Config.Workers = 1;
@@ -307,13 +320,31 @@ void Server::handleLine(const std::shared_ptr<Connection> &Conn,
     return;
   }
   if (Req->Method == "health") {
+    // Legacy top-level fields describe the default domain; "domains"
+    // lists every loaded domain with its current epoch.
+    ServiceRegistry::Snapshot Default = Registry->defaultService();
     Json R = Json::object();
     R.set("status", Json::string("ok"));
-    R.set("domain", Json::string(TheService->domain().Name));
-    R.set("model", Json::boolean(TheService->hasRecognitionModel()));
+    R.set("domain", Json::string(Default->config().DomainName));
+    R.set("model", Json::boolean(Default->hasRecognitionModel()));
     R.set("productions",
           Json::integer(static_cast<long long>(
-              TheService->grammar().productions().size())));
+              Default->grammar().productions().size())));
+    Json Domains = Json::object();
+    for (const std::string &Name : Registry->domainNames()) {
+      ServiceRegistry::Snapshot Svc = Registry->lookup(Name);
+      if (!Svc)
+        continue;
+      Json D = Json::object();
+      D.set("epoch",
+            Json::integer(static_cast<long long>(Svc->epoch())));
+      D.set("productions",
+            Json::integer(static_cast<long long>(
+                Svc->grammar().productions().size())));
+      D.set("model", Json::boolean(Svc->hasRecognitionModel()));
+      Domains.set(Name, std::move(D));
+    }
+    R.set("domains", std::move(Domains));
     R.set("shutting_down", Json::boolean(shuttingDown()));
     Conn->sendLine(makeOkResponse(Req->Id, std::move(R)).dump());
     return;
@@ -324,6 +355,10 @@ void Server::handleLine(const std::shared_ptr<Connection> &Conn,
   }
   if (Req->Method == "solve") {
     handleSolve(Conn, Req->Id, Req->Params);
+    return;
+  }
+  if (Req->Method == "reload") {
+    handleReload(Conn, Req->Id, Req->Params);
     return;
   }
   BadRequests.fetch_add(1, std::memory_order_relaxed);
@@ -343,9 +378,24 @@ void Server::handleSolve(const std::shared_ptr<Connection> &Conn,
     return;
   }
 
+  // Route to a domain epoch *now*: this snapshot is the request's world
+  // for its entire life, however many reloads land while it waits.
+  ServiceRegistry::Snapshot Svc = SP->Domain.empty()
+                                      ? Registry->defaultService()
+                                      : Registry->lookup(SP->Domain);
+  if (!Svc) {
+    Rejected.fetch_add(1, std::memory_order_relaxed);
+    obs::countAdd("serve.requests.unknown_domain");
+    Conn->sendLine(makeErrorResponse(Id, errc::UnknownDomain,
+                                     "no domain named '" + SP->Domain +
+                                         "' is loaded")
+                       .dump());
+    return;
+  }
+
   TaskPtr Task = SP->InlineTask;
   if (!Task) {
-    Task = TheService->taskByName(SP->TaskName);
+    Task = Svc->taskByName(SP->TaskName);
     if (!Task) {
       Conn->sendLine(makeErrorResponse(Id, errc::UnknownTask,
                                        "no task named '" + SP->TaskName +
@@ -360,6 +410,7 @@ void Server::handleSolve(const std::shared_ptr<Connection> &Conn,
   Pending P;
   P.Id = Id;
   P.Task = std::move(Task);
+  P.Svc = Svc;
   P.Admitted = Clock::now();
   // The deadline covers the request's whole life in the server — queue
   // wait included — so an admitted-then-stuck request still terminates.
@@ -368,10 +419,13 @@ void Server::handleSolve(const std::shared_ptr<Connection> &Conn,
   P.FrontierSize = SP->FrontierSize;
   P.Conn = Conn;
 
-  if (!Queue->tryPush(std::move(P))) {
+  PushResult Admission = Queue->tryPush(std::move(P));
+  if (Admission != PushResult::Ok) {
+    // The reason was decided under the queue lock: no race against a
+    // concurrent close() can misreport full-vs-closed.
     Rejected.fetch_add(1, std::memory_order_relaxed);
     obs::countAdd("serve.requests.rejected");
-    if (Queue->closed())
+    if (Admission == PushResult::Closed)
       Conn->sendLine(makeErrorResponse(Id, errc::ShuttingDown,
                                        "server is shutting down")
                          .dump());
@@ -384,10 +438,67 @@ void Server::handleSolve(const std::shared_ptr<Connection> &Conn,
     return;
   }
   Accepted.fetch_add(1, std::memory_order_relaxed);
+  bumpEpochCounter(*Svc, &EpochCounters::Accepted);
   obs::countAdd("serve.requests.accepted");
   size_t Depth = Queue->depth();
   obs::gaugeSet("serve.queue_depth", static_cast<double>(Depth));
   obs::observe("serve.queue_depth", static_cast<double>(Depth));
+}
+
+void Server::handleReload(const std::shared_ptr<Connection> &Conn,
+                          const Json &Id, const Json &Params) {
+  std::string Err;
+  std::optional<ReloadParams> RP = parseReloadParams(Params, &Err);
+  if (!RP) {
+    BadRequests.fetch_add(1, std::memory_order_relaxed);
+    obs::countAdd("serve.requests.bad_request");
+    Conn->sendLine(makeErrorResponse(Id, errc::BadRequest, Err).dump());
+    return;
+  }
+  ServiceRegistry::Snapshot Cur = RP->Domain.empty()
+                                      ? Registry->defaultService()
+                                      : Registry->lookup(RP->Domain);
+  if (!Cur) {
+    Conn->sendLine(makeErrorResponse(Id, errc::UnknownDomain,
+                                     "no domain named '" + RP->Domain +
+                                         "' is loaded")
+                       .dump());
+    return;
+  }
+  ServiceConfig NewConfig = Cur->config();
+  if (RP->Checkpoint)
+    NewConfig.CheckpointPath = *RP->Checkpoint;
+  if (RP->Model)
+    NewConfig.ModelPath = *RP->Model;
+  if (RP->Seed)
+    NewConfig.DomainSeed = *RP->Seed;
+
+  // Load + validate on this reader thread (workers and other
+  // connections are untouched); publish only on success.
+  ServiceRegistry::Snapshot Fresh =
+      Registry->reload(NewConfig.DomainName, NewConfig, &Err);
+  if (!Fresh) {
+    FailedReloads.fetch_add(1, std::memory_order_relaxed);
+    obs::countAdd("serve.reload.failed");
+    Conn->sendLine(makeErrorResponse(Id, errc::ReloadFailed, Err).dump());
+    return;
+  }
+  Reloads.fetch_add(1, std::memory_order_relaxed);
+  obs::countAdd("serve.reload.ok");
+  Json R = Json::object();
+  R.set("domain", Json::string(Fresh->config().DomainName));
+  R.set("epoch", Json::integer(static_cast<long long>(Fresh->epoch())));
+  R.set("productions",
+        Json::integer(static_cast<long long>(
+            Fresh->grammar().productions().size())));
+  R.set("model", Json::boolean(Fresh->hasRecognitionModel()));
+  Conn->sendLine(makeOkResponse(Id, std::move(R)).dump());
+}
+
+void Server::bumpEpochCounter(const Service &Svc,
+                              long EpochCounters::*Field) {
+  std::lock_guard<std::mutex> Lock(EpochStatsMutex);
+  EpochStats[{Svc.config().DomainName, Svc.epoch()}].*Field += 1;
 }
 
 //===----------------------------------------------------------------------===//
@@ -401,8 +512,9 @@ void Server::workerLoop() {
     double RemainingSeconds =
         std::chrono::duration<double>(P->Deadline - Dequeued).count();
 
-    Outcome O = TheService->solve(P->Task, RemainingSeconds, P->NodeBudget,
-                                  P->FrontierSize);
+    // Search on the epoch captured at admission, never the current one.
+    Outcome O = P->Svc->solve(P->Task, RemainingSeconds, P->NodeBudget,
+                              P->FrontierSize);
     Clock::time_point Done = Clock::now();
     double SolveMs = millisBetween(Dequeued, Done);
 
@@ -414,6 +526,7 @@ void Server::workerLoop() {
 
     if (O.TheStatus == Outcome::Status::Timeout) {
       Timeouts.fetch_add(1, std::memory_order_relaxed);
+      bumpEpochCounter(*P->Svc, &EpochCounters::Timeout);
       obs::countAdd("serve.requests.timeout");
       P->Conn->sendLine(
           makeErrorResponse(P->Id, errc::Timeout,
@@ -443,15 +556,20 @@ void Server::workerLoop() {
     bool SolvedNow = O.TheStatus == Outcome::Status::Solved;
     if (SolvedNow) {
       Solved.fetch_add(1, std::memory_order_relaxed);
+      bumpEpochCounter(*P->Svc, &EpochCounters::Solved);
       obs::countAdd("serve.requests.solved");
     } else {
       NoSolution.fetch_add(1, std::memory_order_relaxed);
+      bumpEpochCounter(*P->Svc, &EpochCounters::NoSolution);
       obs::countAdd("serve.requests.no_solution");
     }
 
     Json Result = Json::object();
     Result.set("status",
                Json::string(SolvedNow ? "solved" : "no_solution"));
+    Result.set("domain", Json::string(P->Svc->config().DomainName));
+    Result.set("epoch",
+               Json::integer(static_cast<long long>(P->Svc->epoch())));
     Result.set("programs", std::move(Programs));
     Result.set("deadline_expired", Json::boolean(O.DeadlineExpired));
     Result.set("stats", std::move(Stats));
@@ -471,9 +589,17 @@ ServerStats Server::stats() const {
   S.NoSolution = NoSolution.load(std::memory_order_relaxed);
   S.Timeout = Timeouts.load(std::memory_order_relaxed);
   S.BadRequest = BadRequests.load(std::memory_order_relaxed);
+  S.Reloads = Reloads.load(std::memory_order_relaxed);
+  S.FailedReloads = FailedReloads.load(std::memory_order_relaxed);
   S.QueueDepth = Queue->depth();
   S.Connections = OpenConnections.load(std::memory_order_relaxed);
   return S;
+}
+
+std::map<std::pair<std::string, unsigned long>, EpochCounters>
+Server::epochStats() const {
+  std::lock_guard<std::mutex> Lock(EpochStatsMutex);
+  return EpochStats;
 }
 
 Json Server::buildStats() const {
@@ -485,11 +611,45 @@ Json Server::buildStats() const {
   R.set("no_solution", Json::integer(S.NoSolution));
   R.set("timeout", Json::integer(S.Timeout));
   R.set("bad_request", Json::integer(S.BadRequest));
+  R.set("reloads", Json::integer(S.Reloads));
+  R.set("failed_reloads", Json::integer(S.FailedReloads));
   R.set("queue_depth", Json::integer(static_cast<long long>(S.QueueDepth)));
   R.set("queue_capacity",
         Json::integer(static_cast<long long>(Queue->capacity())));
   R.set("connections", Json::integer(S.Connections));
   R.set("workers", Json::integer(Config.Workers));
   R.set("shutting_down", Json::boolean(shuttingDown()));
+
+  // Per-domain: current epoch plus the outcome history of every epoch
+  // this server has served (reloads never zero counters).
+  std::map<std::pair<std::string, unsigned long>, EpochCounters> ES =
+      epochStats();
+  Json Domains = Json::object();
+  for (const std::string &Name : Registry->domainNames()) {
+    ServiceRegistry::Snapshot Svc = Registry->lookup(Name);
+    if (!Svc)
+      continue;
+    Json D = Json::object();
+    D.set("epoch", Json::integer(static_cast<long long>(Svc->epoch())));
+    D.set("productions",
+          Json::integer(static_cast<long long>(
+              Svc->grammar().productions().size())));
+    D.set("model", Json::boolean(Svc->hasRecognitionModel()));
+    Json History = Json::array();
+    for (const auto &[Key, C] : ES) {
+      if (Key.first != Name)
+        continue;
+      Json E = Json::object();
+      E.set("epoch", Json::integer(static_cast<long long>(Key.second)));
+      E.set("accepted", Json::integer(C.Accepted));
+      E.set("solved", Json::integer(C.Solved));
+      E.set("no_solution", Json::integer(C.NoSolution));
+      E.set("timeout", Json::integer(C.Timeout));
+      History.push(std::move(E));
+    }
+    D.set("epochs", std::move(History));
+    Domains.set(Name, std::move(D));
+  }
+  R.set("domains", std::move(Domains));
   return R;
 }

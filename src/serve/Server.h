@@ -6,20 +6,29 @@
 ///
 /// \file
 /// The network layer of dc_serve: a line-delimited-JSON TCP server over a
-/// loaded Service. Thread architecture (DESIGN.md §9):
+/// ServiceRegistry of loaded Service epochs. Thread architecture
+/// (DESIGN.md §9):
 ///
 ///   acceptor ──► one reader thread per connection ──► BoundedQueue
 ///                                                          │
 ///                                     worker pool ◄────────┘
 ///
 /// Readers parse and validate requests and answer health/stats inline
-/// (those never block on search capacity); solve requests are stamped
-/// with their wall-clock deadline at *admission* and enqueued. Admission
-/// control is the queue bound: a full queue rejects immediately with
-/// `overloaded` — saturation surfaces as a structured error the client
-/// can back off on, not as unbounded queueing delay. Workers re-check
-/// the deadline at dequeue (a request that spent its budget queued gets
-/// `timeout` without searching) and pass the remainder into enumeration.
+/// (those never block on search capacity); solve requests resolve their
+/// domain to a registry snapshot and are stamped with both that epoch
+/// and their wall-clock deadline at *admission*, then enqueued — a
+/// reload that publishes a new epoch never perturbs admitted work.
+/// Admission control is the queue bound: a full queue rejects
+/// immediately with `overloaded` — saturation surfaces as a structured
+/// error the client can back off on, not as unbounded queueing delay.
+/// Workers re-check the deadline at dequeue (a request that spent its
+/// budget queued gets `timeout` without searching) and pass the
+/// remainder into enumeration.
+///
+/// `reload` requests run on the requesting connection's reader thread:
+/// checkpoint + model I/O and validation never touch the acceptor, the
+/// workers, or any other connection, and a failed load publishes
+/// nothing (`reload_failed`; the old epoch keeps serving).
 ///
 /// Graceful shutdown (requestShutdown, or shutdown() directly): stop
 /// accepting connections, reject new solves with `shutting_down`, let
@@ -41,10 +50,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace dc::serve {
@@ -67,20 +78,34 @@ struct ServerConfig {
 /// are tracked by the server itself so they work with telemetry off).
 struct ServerStats {
   long Accepted = 0;
-  long Rejected = 0; ///< overloaded + shutting_down
+  long Rejected = 0; ///< overloaded + shutting_down + unknown_domain
   long Solved = 0;
   long NoSolution = 0;
   long Timeout = 0;
   long BadRequest = 0;
+  long Reloads = 0;       ///< successful epoch swaps
+  long FailedReloads = 0; ///< reload_failed responses
   size_t QueueDepth = 0;
   int Connections = 0;
 };
 
+/// Per-(domain, epoch) outcome counters: reloads don't zero history, so
+/// operators can see exactly which answers were served by which library
+/// generation (the `stats` endpoint's "domains" section).
+struct EpochCounters {
+  long Accepted = 0;
+  long Solved = 0;
+  long NoSolution = 0;
+  long Timeout = 0;
+};
+
 class Server {
 public:
-  /// Binds and starts all threads. Null + \p ErrorOut on bind failure.
-  /// \p TheService must outlive the server.
-  static std::unique_ptr<Server> start(const Service &TheService,
+  /// Binds and starts all threads. Null + \p ErrorOut on bind failure
+  /// or an empty registry. \p Registry must outlive the server; it may
+  /// keep receiving install()/reload() calls while the server runs
+  /// (that is the hot-reload path).
+  static std::unique_ptr<Server> start(ServiceRegistry &Registry,
                                        const ServerConfig &Config,
                                        std::string *ErrorOut = nullptr);
   ~Server();
@@ -109,6 +134,19 @@ public:
 
   ServerStats stats() const;
 
+  /// Folds a reload performed outside the protocol (the SIGHUP path in
+  /// dc_serve, which calls ServiceRegistry::reload directly) into the
+  /// reloads/failed_reloads counters so `stats` reflects every swap.
+  void noteReload(bool Success) {
+    (Success ? Reloads : FailedReloads)
+        .fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Snapshot of the per-(domain, epoch) counters (tests; the stats
+  /// endpoint renders the same data as JSON).
+  std::map<std::pair<std::string, unsigned long>, EpochCounters>
+  epochStats() const;
+
 private:
   struct Connection;
   struct Pending;
@@ -122,10 +160,13 @@ private:
                   const std::string &Line);
   void handleSolve(const std::shared_ptr<Connection> &Conn, const Json &Id,
                    const Json &Params);
+  void handleReload(const std::shared_ptr<Connection> &Conn, const Json &Id,
+                    const Json &Params);
+  void bumpEpochCounter(const Service &Svc, long EpochCounters::*Field);
   Json buildStats() const;
   void teardown();
 
-  const Service *TheService = nullptr;
+  ServiceRegistry *Registry = nullptr;
   ServerConfig Config;
   int ListenFd = -1;
   int BoundPort = 0;
@@ -147,8 +188,14 @@ private:
 
   // Operational counters (see ServerStats).
   std::atomic<long> Accepted{0}, Rejected{0}, Solved{0}, NoSolution{0},
-      Timeouts{0}, BadRequests{0};
+      Timeouts{0}, BadRequests{0}, Reloads{0}, FailedReloads{0};
   std::atomic<int> OpenConnections{0};
+
+  /// (domain, epoch) -> outcome counters; ordered so the stats endpoint
+  /// renders epochs in ascending order.
+  mutable std::mutex EpochStatsMutex;
+  std::map<std::pair<std::string, unsigned long>, EpochCounters>
+      EpochStats;
 };
 
 } // namespace dc::serve

@@ -8,6 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Serialization.h"
+#include "domains/ListDomain.h"
 #include "serve/Json.h"
 #include "serve/Protocol.h"
 #include "serve/RequestQueue.h"
@@ -22,6 +24,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <fstream>
 #include <thread>
 
 using namespace dc;
@@ -212,24 +215,54 @@ TEST(ServeProtocolTest, ResponseBuilders) {
 
 TEST(ServeQueueTest, CapacityBoundsAdmission) {
   BoundedQueue<int> Q(2);
-  EXPECT_TRUE(Q.tryPush(1));
-  EXPECT_TRUE(Q.tryPush(2));
-  EXPECT_FALSE(Q.tryPush(3)); // full: the `overloaded` signal
+  EXPECT_EQ(Q.tryPush(1), PushResult::Ok);
+  EXPECT_EQ(Q.tryPush(2), PushResult::Ok);
+  EXPECT_EQ(Q.tryPush(3), PushResult::Full); // the `overloaded` signal
   EXPECT_EQ(Q.depth(), 2u);
   EXPECT_EQ(*Q.pop(), 1);
-  EXPECT_TRUE(Q.tryPush(3)); // space again
+  EXPECT_EQ(Q.tryPush(3), PushResult::Ok); // space again
 }
 
 TEST(ServeQueueTest, CloseStopsAdmissionButDrains) {
   BoundedQueue<int> Q(4);
-  ASSERT_TRUE(Q.tryPush(1));
-  ASSERT_TRUE(Q.tryPush(2));
+  ASSERT_EQ(Q.tryPush(1), PushResult::Ok);
+  ASSERT_EQ(Q.tryPush(2), PushResult::Ok);
   Q.close();
-  EXPECT_FALSE(Q.tryPush(3)); // `shutting_down`
+  // Closed, not Full: the reason is decided under the queue lock, so
+  // the server's `shutting_down` vs `overloaded` answer cannot race
+  // with a concurrent close().
+  EXPECT_EQ(Q.tryPush(3), PushResult::Closed);
   EXPECT_TRUE(Q.closed());
   EXPECT_EQ(*Q.pop(), 1); // admitted work is never dropped
   EXPECT_EQ(*Q.pop(), 2);
   EXPECT_FALSE(Q.pop().has_value()); // worker exit signal
+}
+
+TEST(ServeQueueTest, FullAndClosedAreDistinguishedUnderConcurrentClose) {
+  // A producer hammering a full queue while another thread closes it
+  // must see Full strictly before Closed — never Full again after the
+  // first Closed, and never a Closed that a follow-up closed() probe
+  // would contradict. (With the old bool API both cases collapsed to
+  // `false` and the server's separate closed() check raced.)
+  BoundedQueue<int> Q(1);
+  ASSERT_EQ(Q.tryPush(0), PushResult::Ok); // keep it full
+  std::atomic<bool> SawClosed{false};
+  std::atomic<bool> Violation{false};
+  std::thread Producer([&] {
+    while (!SawClosed.load()) {
+      PushResult R = Q.tryPush(1);
+      if (R == PushResult::Ok)
+        Violation.store(true); // queue stays full, nothing pops
+      if (R == PushResult::Closed)
+        SawClosed.store(true); // close() is guaranteed to arrive
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  Q.close();
+  Producer.join();
+  EXPECT_TRUE(SawClosed.load());
+  EXPECT_FALSE(Violation.load());
+  EXPECT_EQ(Q.tryPush(1), PushResult::Closed);
 }
 
 TEST(ServeQueueTest, ConcurrentProducersAndConsumers) {
@@ -254,7 +287,7 @@ TEST(ServeQueueTest, ConcurrentProducersAndConsumers) {
     Prods.emplace_back([&Q, P] {
       for (int I = 0; I < PerProducer; ++I) {
         int V = P * PerProducer + I;
-        while (!Q.tryPush(V)) // full: spin like a retrying client
+        while (Q.tryPush(V) != PushResult::Ok) // spin like a retrying client
           std::this_thread::yield();
       }
     });
@@ -336,6 +369,65 @@ TEST(ServeServiceTest, MissingCheckpointFails) {
   EXPECT_FALSE(Err.empty());
 }
 
+TEST(ServeServiceTest, ErrorBufferIsOverwrittenAcrossFailures) {
+  // Regression: fail() used to write *ErrorOut only when it was empty,
+  // so a caller reusing an error buffer across two create() attempts
+  // saw the FIRST failure's message after the SECOND failure.
+  std::string Err;
+  ServiceConfig C1;
+  C1.DomainName = "first-bogus-domain";
+  EXPECT_EQ(Service::create(C1, &Err), nullptr);
+  EXPECT_NE(Err.find("first-bogus-domain"), std::string::npos);
+
+  ServiceConfig C2;
+  C2.DomainName = "second-bogus-domain";
+  EXPECT_EQ(Service::create(C2, &Err), nullptr); // same, non-cleared Err
+  EXPECT_NE(Err.find("second-bogus-domain"), std::string::npos)
+      << "stale error from the first failure: " << Err;
+}
+
+TEST(ServeServiceTest, SeedlessDomainsRejectNonzeroSeed) {
+  // logo and tower have fixed ground-truth corpora: their generators
+  // ignore the seed, so `--seed 9` used to silently serve a corpus that
+  // didn't match what the operator asked for.
+  for (const char *Domain : {"logo", "tower"}) {
+    ServiceConfig C;
+    C.DomainName = Domain;
+    C.DomainSeed = 9;
+    std::string Err;
+    EXPECT_EQ(Service::create(C, &Err), nullptr) << Domain;
+    EXPECT_NE(Err.find("seed"), std::string::npos) << Domain << ": " << Err;
+    EXPECT_NE(Err.find(Domain), std::string::npos) << Err;
+
+    // Seed 0 ("use the domain default") still loads.
+    C.DomainSeed = 0;
+    std::unique_ptr<Service> S = Service::create(C, &Err);
+    EXPECT_TRUE(S) << Domain << ": " << Err;
+  }
+}
+
+TEST(ServeServiceTest, TaskIndexRejectsDuplicateNames) {
+  DomainSpec D;
+  D.Name = "synthetic";
+  std::vector<Example> Ex = {{{Value::makeInt(1)}, Value::makeInt(1)}};
+  TypePtr Req = Type::arrow(tInt(), tInt());
+  D.TrainTasks.push_back(std::make_shared<Task>("dup", Req, Ex));
+  D.TestTasks.push_back(std::make_shared<Task>("dup", Req, Ex));
+
+  std::unordered_map<std::string, TaskPtr> Index;
+  std::string Err;
+  EXPECT_FALSE(detail::buildTaskIndex(D, Index, &Err));
+  EXPECT_NE(Err.find("dup"), std::string::npos);
+
+  // Distinct names index fine, train looked up before test by name.
+  D.TestTasks[0] = std::make_shared<Task>("other", Req, Ex);
+  Err.clear();
+  ASSERT_TRUE(detail::buildTaskIndex(D, Index, &Err)) << Err;
+  EXPECT_EQ(Index.size(), 2u);
+  EXPECT_EQ(Index.at("dup"), D.TrainTasks[0]);
+  EXPECT_EQ(Index.at("other"), D.TestTasks[0]);
+}
+
 TEST(ServeServiceTest, SolvesIdentityInline) {
   std::unique_ptr<Service> S = makeListService();
   ASSERT_TRUE(S);
@@ -412,6 +504,132 @@ TEST(ServeServiceTest, ConcurrentSolvesAreDeterministic) {
 }
 
 //===----------------------------------------------------------------------===//
+// ServiceRegistry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Writes a checkpoint whose grammar is the list domain's base library
+/// with shifted weights: same support as the default uniform grammar,
+/// different log-priors for every program — a detectable "new library
+/// generation" for reload tests.
+std::string writeShiftedListCheckpoint(const std::string &FileName) {
+  DomainSpec D = makeListDomain(1);
+  Grammar G = Grammar::uniform(D.BasePrimitives);
+  G.setLogVariable(-2.5); // default is -1.0: every $0 reference rescores
+  for (size_t I = 0; I < G.productions().size(); ++I)
+    G.productions()[I].LogWeight = -0.1 * static_cast<double>(I % 7);
+  std::string Path = testing::TempDir() + "/" + FileName;
+  std::ofstream Out(Path);
+  serializeGrammar(G, Out);
+  return Path;
+}
+
+} // namespace
+
+TEST(ServeRegistryTest, InstallLookupAndEpochNumbers) {
+  ServiceRegistry Reg;
+  EXPECT_EQ(Reg.defaultService(), nullptr);
+  EXPECT_EQ(Reg.lookup("list"), nullptr);
+
+  ServiceRegistry::Snapshot First = Reg.install(makeListService());
+  ASSERT_TRUE(First);
+  EXPECT_EQ(First->epoch(), 1u);
+  EXPECT_EQ(Reg.lookup("list"), First);
+  EXPECT_EQ(Reg.defaultService(), First); // first install = default
+  EXPECT_EQ(Reg.size(), 1u);
+  ASSERT_EQ(Reg.domainNames().size(), 1u);
+  EXPECT_EQ(Reg.domainNames()[0], "list");
+
+  // Installing again bumps the epoch and swaps the snapshot; the old
+  // epoch stays alive as long as someone holds it.
+  ServiceRegistry::Snapshot Second = Reg.install(makeListService());
+  EXPECT_EQ(Second->epoch(), 2u);
+  EXPECT_EQ(Reg.lookup("list"), Second);
+  EXPECT_EQ(First->epoch(), 1u); // the held snapshot is untouched
+  EXPECT_EQ(Reg.size(), 1u);
+}
+
+TEST(ServeRegistryTest, ReloadSwapsEpochAndFailureKeepsOldOne) {
+  ServiceRegistry Reg;
+  ServiceRegistry::Snapshot Old = Reg.install(makeListService());
+  ASSERT_TRUE(Old);
+
+  // Unknown domains cannot be reloaded (reload swaps, it never adds).
+  std::string Err;
+  EXPECT_EQ(Reg.reload("text", &Err), nullptr);
+  EXPECT_NE(Err.find("text"), std::string::npos);
+
+  // A config that fails to load publishes nothing.
+  ServiceConfig Bad = Old->config();
+  Bad.CheckpointPath = "/nonexistent/lib.ckpt";
+  EXPECT_EQ(Reg.reload("list", Bad, &Err), nullptr);
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(Reg.lookup("list"), Old) << "failed reload must not publish";
+
+  // A good config swaps to epoch 2 with the new grammar.
+  ServiceConfig Good = Old->config();
+  Good.CheckpointPath = writeShiftedListCheckpoint("reg_reload.ckpt");
+  ServiceRegistry::Snapshot Fresh = Reg.reload("list", Good, &Err);
+  ASSERT_TRUE(Fresh) << Err;
+  EXPECT_EQ(Fresh->epoch(), 2u);
+  EXPECT_EQ(Reg.lookup("list"), Fresh);
+  EXPECT_NE(Fresh->grammar().logVariable(), Old->grammar().logVariable());
+
+  // Old-epoch searches still run on the old grammar snapshot.
+  Outcome OnOld = Old->solve(identityTask(), 60.0, 50000, 0);
+  Outcome OnNew = Fresh->solve(identityTask(), 60.0, 50000, 0);
+  ASSERT_EQ(OnOld.TheStatus, Outcome::Status::Solved);
+  ASSERT_EQ(OnNew.TheStatus, Outcome::Status::Solved);
+  EXPECT_EQ(OnOld.Beam.best()->Program->show(), "(lambda $0)");
+  EXPECT_NE(beamSignature(OnOld.Beam), beamSignature(OnNew.Beam))
+      << "shifted weights must change the scored beam";
+}
+
+TEST(ServeProtocolTest, ReloadParamsParse) {
+  // Bare reload: default domain, keep every configured path.
+  std::optional<ReloadParams> RP = parseReloadParams(Json::null());
+  ASSERT_TRUE(RP);
+  EXPECT_TRUE(RP->Domain.empty());
+  EXPECT_FALSE(RP->Checkpoint || RP->Model || RP->Seed);
+
+  auto P = Json::parse(
+      R"({"domain":"text","checkpoint":"b.ckpt","model":"","seed":7})");
+  ASSERT_TRUE(P);
+  std::string Err;
+  RP = parseReloadParams(*P, &Err);
+  ASSERT_TRUE(RP) << Err;
+  EXPECT_EQ(RP->Domain, "text");
+  EXPECT_EQ(*RP->Checkpoint, "b.ckpt");
+  EXPECT_EQ(*RP->Model, ""); // explicit "": clear the model
+  EXPECT_EQ(*RP->Seed, 7u);
+
+  for (const char *Bad :
+       {R"({"domain":""})", R"({"domain":3})", R"({"checkpoint":1})",
+        R"({"seed":-1})", R"({"seed":1.5})", R"([1,2])"}) {
+    Err.clear();
+    EXPECT_FALSE(parseReloadParams(*Json::parse(Bad), &Err)) << Bad;
+    EXPECT_FALSE(Err.empty()) << Bad;
+  }
+}
+
+TEST(ServeProtocolTest, SolveParamsDomainRouting) {
+  auto P = Json::parse(R"({"task":"t","domain":"text"})");
+  ASSERT_TRUE(P);
+  std::string Err;
+  auto SP = parseSolveParams(*P, &Err);
+  ASSERT_TRUE(SP) << Err;
+  EXPECT_EQ(SP->Domain, "text");
+
+  // Absent domain = default route; empty/typed wrong = bad_request.
+  SP = parseSolveParams(*Json::parse(R"({"task":"t"})"));
+  ASSERT_TRUE(SP);
+  EXPECT_TRUE(SP->Domain.empty());
+  EXPECT_FALSE(parseSolveParams(*Json::parse(R"({"task":"t","domain":""})")));
+  EXPECT_FALSE(parseSolveParams(*Json::parse(R"({"task":"t","domain":2})")));
+}
+
+//===----------------------------------------------------------------------===//
 // Server end-to-end (sockets, workers, shutdown)
 //===----------------------------------------------------------------------===//
 
@@ -481,15 +699,37 @@ std::string slowRequest(const char *Id, long TimeoutMs) {
          R"(,"node_budget":100000000}})";
 }
 
+/// An identity solve with an explicit id and optional "domain" route.
+std::string identityRequest(const char *Id, const char *Domain = nullptr) {
+  std::string R = std::string(R"({"id":")") + Id +
+                  R"(","method":"solve","params":{)";
+  if (Domain)
+    R += std::string(R"("domain":")") + Domain + R"(",)";
+  R += R"json("request":"list(int) -> list(int)",)json"
+       R"json("examples":[{"inputs":[[1,2,3]],"output":[1,2,3]},)json"
+       R"json({"inputs":[[4]],"output":[4]}],)json"
+       R"json("timeout_ms":60000,"node_budget":50000}})json";
+  return R;
+}
+
+/// The full scored program list of a solve response — the bit-identity
+/// fingerprint reload tests compare across epochs.
+std::string programsSignature(const Json &Response) {
+  const Json *Result = Response.find("result");
+  if (!Result || !Result->find("programs"))
+    return "<no-programs:" + Response.dump() + ">";
+  return Result->find("programs")->dump();
+}
+
 } // namespace
 
 TEST(ServeServerTest, EndToEndSolveHealthStats) {
-  std::unique_ptr<Service> Svc = makeListService();
-  ASSERT_TRUE(Svc);
+  ServiceRegistry Reg;
+  ASSERT_TRUE(Reg.install(makeListService()));
   ServerConfig SC;
   SC.Workers = 2;
   std::string Err;
-  std::unique_ptr<Server> Srv = Server::start(*Svc, SC, &Err);
+  std::unique_ptr<Server> Srv = Server::start(Reg, SC, &Err);
   ASSERT_TRUE(Srv) << Err;
   ASSERT_GT(Srv->port(), 0);
 
@@ -500,6 +740,9 @@ TEST(ServeServerTest, EndToEndSolveHealthStats) {
   ASSERT_TRUE(Health.find("ok"));
   EXPECT_TRUE(Health.find("ok")->asBool());
   EXPECT_EQ(Health.find("result")->find("domain")->asString(), "list");
+  const Json *HealthDomains = Health.find("result")->find("domains");
+  ASSERT_TRUE(HealthDomains);
+  EXPECT_EQ(HealthDomains->find("list")->find("epoch")->asInteger(), 1);
 
   Json Solve = C.roundTrip(IdentityRequest);
   ASSERT_TRUE(Solve.find("ok"));
@@ -510,6 +753,13 @@ TEST(ServeServerTest, EndToEndSolveHealthStats) {
   EXPECT_EQ(
       Result->find("programs")->items()[0].find("program")->asString(),
       "(lambda $0)");
+  EXPECT_EQ(Result->find("domain")->asString(), "list");
+  EXPECT_EQ(Result->find("epoch")->asInteger(), 1);
+
+  // Explicit routing to the one loaded domain behaves like the default.
+  Json Routed = C.roundTrip(identityRequest("r", "list"));
+  ASSERT_TRUE(Routed.find("ok")->asBool()) << Routed.dump();
+  EXPECT_EQ(programsSignature(Routed), programsSignature(Solve));
 
   // Past-deadline request: structured timeout, not a hang or crash.
   Json Timeout = C.roundTrip(slowRequest("t", 1));
@@ -521,6 +771,10 @@ TEST(ServeServerTest, EndToEndSolveHealthStats) {
       C.roundTrip(R"({"id":9,"method":"solve","params":{"task":"?"}})");
   EXPECT_EQ(Unknown.find("error")->find("code")->asString(),
             "unknown_task");
+  Json NoSuchDomain = C.roundTrip(identityRequest("nd", "text"));
+  EXPECT_FALSE(NoSuchDomain.find("ok")->asBool());
+  EXPECT_EQ(NoSuchDomain.find("error")->find("code")->asString(),
+            "unknown_domain");
   Json BadMethod = C.roundTrip(R"({"id":10,"method":"frobnicate"})");
   EXPECT_EQ(BadMethod.find("error")->find("code")->asString(),
             "unknown_method");
@@ -530,25 +784,36 @@ TEST(ServeServerTest, EndToEndSolveHealthStats) {
 
   Json Stats = C.roundTrip(R"({"id":"s","method":"stats"})");
   const Json *SR = Stats.find("result");
-  EXPECT_EQ(SR->find("solved")->asInteger(), 1);
+  EXPECT_EQ(SR->find("solved")->asInteger(), 2);
   EXPECT_EQ(SR->find("timeout")->asInteger(), 1);
-  EXPECT_GE(SR->find("accepted")->asInteger(), 2);
+  EXPECT_GE(SR->find("accepted")->asInteger(), 3);
+  const Json *StatsDomains = SR->find("domains");
+  ASSERT_TRUE(StatsDomains);
+  const Json *ListEpochs = StatsDomains->find("list")->find("epochs");
+  ASSERT_TRUE(ListEpochs);
+  ASSERT_EQ(ListEpochs->items().size(), 1u);
+  EXPECT_EQ(ListEpochs->items()[0].find("epoch")->asInteger(), 1);
+  EXPECT_EQ(ListEpochs->items()[0].find("solved")->asInteger(), 2);
 
   Srv->requestShutdown();
   Srv->waitForShutdown();
   ServerStats Final = Srv->stats();
-  EXPECT_EQ(Final.Solved, 1);
+  EXPECT_EQ(Final.Solved, 2);
   EXPECT_EQ(Final.Timeout, 1);
+  auto ES = Srv->epochStats();
+  ASSERT_EQ((ES.count({"list", 1ul})), 1u);
+  EXPECT_EQ((ES[{"list", 1ul}].Solved), 2);
+  EXPECT_EQ((ES[{"list", 1ul}].Timeout), 1);
 }
 
 TEST(ServeServerTest, OverloadRejectionAndGracefulDrain) {
-  std::unique_ptr<Service> Svc = makeListService();
-  ASSERT_TRUE(Svc);
+  ServiceRegistry Reg;
+  ASSERT_TRUE(Reg.install(makeListService()));
   ServerConfig SC;
   SC.Workers = 1;
   SC.QueueCapacity = 1;
   std::string Err;
-  std::unique_ptr<Server> Srv = Server::start(*Svc, SC, &Err);
+  std::unique_ptr<Server> Srv = Server::start(Reg, SC, &Err);
   ASSERT_TRUE(Srv) << Err;
 
   // A occupies the worker, B fills the queue (poll the stats endpoint to
@@ -603,4 +868,141 @@ TEST(ServeServerTest, OverloadRejectionAndGracefulDrain) {
   EXPECT_EQ(Final.Accepted, 2);
   EXPECT_GE(Final.Rejected, 2); // C overloaded + D shutting_down
   EXPECT_EQ(Final.Timeout, 2);
+}
+
+TEST(ServeServerTest, HotReloadUnderLoad) {
+  // One worker makes the service order deterministic: slow occupies the
+  // worker, "pre" queues behind it on epoch 1, the reload publishes
+  // epoch 2 while both are still pending, "post" admits on epoch 2.
+  ServiceRegistry Reg;
+  ASSERT_TRUE(Reg.install(makeListService()));
+  ServerConfig SC;
+  SC.Workers = 1;
+  SC.QueueCapacity = 8;
+  std::string Err;
+  std::unique_ptr<Server> Srv = Server::start(Reg, SC, &Err);
+  ASSERT_TRUE(Srv) << Err;
+
+  TestClient C(Srv->port()), Slow(Srv->port()), Probe(Srv->port());
+  ASSERT_TRUE(C.connected() && Slow.connected() && Probe.connected());
+
+  auto occupancy = [&]() -> std::pair<long, long> {
+    Json S = Probe.roundTrip(R"({"id":"p","method":"stats"})");
+    const Json *R = S.find("result");
+    return {R->find("accepted")->asInteger(),
+            R->find("queue_depth")->asInteger()};
+  };
+  auto waitFor = [&](long Accepted, long Depth) {
+    for (int I = 0; I < 400; ++I) {
+      if (occupancy() == std::make_pair(Accepted, Depth))
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+
+  // Baseline answer on epoch 1.
+  Json Baseline = C.roundTrip(identityRequest("base"));
+  ASSERT_TRUE(Baseline.find("ok")->asBool()) << Baseline.dump();
+  EXPECT_EQ(Baseline.find("result")->find("epoch")->asInteger(), 1);
+  std::string SigA = programsSignature(Baseline);
+
+  // Occupy the worker, then pipeline "pre" behind it on epoch 1.
+  Slow.sendLine(slowRequest("slow", 2000));
+  ASSERT_TRUE(waitFor(2, 0)) << "slow never reached the worker";
+  C.sendLine(identityRequest("pre"));
+  ASSERT_TRUE(waitFor(3, 1)) << "pre never queued";
+
+  // Reload runs on the probe's reader thread while the worker is busy:
+  // connections stay open, nothing admitted is dropped.
+  std::string CkptB = writeShiftedListCheckpoint("hot_reload_b.ckpt");
+  Json ReloadResp = Probe.roundTrip(
+      R"({"id":"rl","method":"reload","params":{"checkpoint":")" + CkptB +
+      R"("}})");
+  ASSERT_TRUE(ReloadResp.find("ok")) << ReloadResp.dump();
+  ASSERT_TRUE(ReloadResp.find("ok")->asBool()) << ReloadResp.dump();
+  EXPECT_EQ(ReloadResp.find("result")->find("epoch")->asInteger(), 2);
+
+  // Post-reload admission routes to epoch 2.
+  C.sendLine(identityRequest("post"));
+
+  // slow drains first (unsolvable -> timeout), then pre, then post.
+  Json SlowResp = Slow.recvLine();
+  EXPECT_EQ(SlowResp.find("error")->find("code")->asString(), "timeout");
+
+  Json Pre = C.recvLine();
+  EXPECT_EQ(Pre.find("id")->asString(), "pre");
+  ASSERT_TRUE(Pre.find("ok")->asBool()) << Pre.dump();
+  EXPECT_EQ(Pre.find("result")->find("epoch")->asInteger(), 1)
+      << "work admitted before the reload must finish on its epoch";
+  EXPECT_EQ(programsSignature(Pre), SigA)
+      << "pre-reload answer must be bit-identical to the baseline";
+
+  Json Post = C.recvLine();
+  EXPECT_EQ(Post.find("id")->asString(), "post");
+  ASSERT_TRUE(Post.find("ok")->asBool()) << Post.dump();
+  EXPECT_EQ(Post.find("result")->find("epoch")->asInteger(), 2);
+  EXPECT_NE(programsSignature(Post), SigA)
+      << "the shifted checkpoint must change the scored beam";
+
+  // The epoch history splits the outcomes across library generations.
+  Json Stats = Probe.roundTrip(R"({"id":"s","method":"stats"})");
+  const Json *SR = Stats.find("result");
+  EXPECT_EQ(SR->find("reloads")->asInteger(), 1);
+  EXPECT_EQ(SR->find("failed_reloads")->asInteger(), 0);
+  const Json *ListDomain = SR->find("domains")->find("list");
+  ASSERT_TRUE(ListDomain);
+  EXPECT_EQ(ListDomain->find("epoch")->asInteger(), 2);
+  ASSERT_EQ(ListDomain->find("epochs")->items().size(), 2u);
+
+  Srv->requestShutdown();
+  Srv->waitForShutdown();
+  auto ES = Srv->epochStats();
+  EXPECT_EQ((ES[{"list", 1ul}].Solved), 2);  // base + pre
+  EXPECT_EQ((ES[{"list", 1ul}].Timeout), 1); // slow
+  EXPECT_EQ((ES[{"list", 2ul}].Solved), 1);  // post
+  ServerStats Final = Srv->stats();
+  EXPECT_EQ(Final.Accepted, 4);
+  EXPECT_EQ(Final.Rejected, 0) << "reload must drop no admitted work";
+}
+
+TEST(ServeServerTest, ReloadFailedLeavesOldEpochServing) {
+  ServiceRegistry Reg;
+  ASSERT_TRUE(Reg.install(makeListService()));
+  ServerConfig SC;
+  std::string Err;
+  std::unique_ptr<Server> Srv = Server::start(Reg, SC, &Err);
+  ASSERT_TRUE(Srv) << Err;
+
+  TestClient C(Srv->port());
+  ASSERT_TRUE(C.connected());
+  Json Baseline = C.roundTrip(identityRequest("base"));
+  ASSERT_TRUE(Baseline.find("ok")->asBool()) << Baseline.dump();
+  std::string SigA = programsSignature(Baseline);
+
+  // A checkpoint that cannot load publishes nothing.
+  Json Failed = C.roundTrip(
+      R"({"id":"rl","method":"reload","params":)"
+      R"({"checkpoint":"/nonexistent/lib.ckpt"}})");
+  EXPECT_FALSE(Failed.find("ok")->asBool());
+  EXPECT_EQ(Failed.find("error")->find("code")->asString(),
+            "reload_failed");
+
+  // Reloading a domain that was never loaded is a routing error.
+  Json NoDomain = C.roundTrip(
+      R"({"id":"rd","method":"reload","params":{"domain":"text"}})");
+  EXPECT_EQ(NoDomain.find("error")->find("code")->asString(),
+            "unknown_domain");
+
+  // The old epoch keeps serving, bit-identically.
+  Json After = C.roundTrip(identityRequest("after"));
+  ASSERT_TRUE(After.find("ok")->asBool()) << After.dump();
+  EXPECT_EQ(After.find("result")->find("epoch")->asInteger(), 1);
+  EXPECT_EQ(programsSignature(After), SigA);
+
+  Srv->requestShutdown();
+  Srv->waitForShutdown();
+  ServerStats Final = Srv->stats();
+  EXPECT_EQ(Final.Reloads, 0);
+  EXPECT_EQ(Final.FailedReloads, 1);
 }

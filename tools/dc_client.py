@@ -5,12 +5,18 @@ Subcommands:
     health            print the server's health response
     stats             print the server's operational counters
     solve             send one solve request (--task NAME, or --request/
-                      --examples-json for an inline task)
-    smoke             start dc_serve twice and run the acceptance scenario:
-                      concurrent deterministic solves, a past-deadline
-                      request answered with a structured timeout, queue-full
-                      admission rejection, and graceful SIGTERM shutdown
-                      mid-load with exit code 0.
+                      --examples-json for an inline task; --domain routes
+                      to a named domain on a multi-domain server)
+    reload            hot-swap one domain's checkpoint/model: the server
+                      loads and validates off the serving path, then
+                      atomically publishes a new library epoch
+    smoke             start dc_serve several times and run the acceptance
+                      scenario: concurrent deterministic solves, a
+                      past-deadline request answered with a structured
+                      timeout, queue-full admission rejection, graceful
+                      SIGTERM shutdown mid-load with exit code 0, and
+                      (with --checkpoint-b) a SIGHUP hot reload where
+                      answers change only after the new epoch publishes.
 
 The smoke subcommand is what CI runs; it needs --server pointing at the
 dc_serve binary and exits nonzero on the first failed check.
@@ -144,6 +150,9 @@ class ServerProcess:
 
     def sigterm(self):
         self.proc.send_signal(signal.SIGTERM)
+
+    def sighup(self):
+        self.proc.send_signal(signal.SIGHUP)
 
     def wait(self, timeout=60.0):
         rc = self.proc.wait(timeout=timeout)
@@ -359,6 +368,90 @@ def smoke(args):
             except OSError:
                 pass
 
+    # --- Scenario 3: SIGHUP hot reload under an open connection ----------
+    # Serve checkpoint A from a "live" path, overwrite that path with
+    # checkpoint B's bytes, and prove answers change only after the
+    # reload publishes the new epoch — never from the file edit alone,
+    # and never by dropping the established connection.
+    if args.checkpoint_b:
+        if not args.checkpoint:
+            raise AssertionError("--checkpoint-b requires --checkpoint")
+        with open(args.checkpoint, "rb") as f:
+            bytes_a = f.read()
+        with open(args.checkpoint_b, "rb") as f:
+            bytes_b = f.read()
+        check(
+            bytes_a != bytes_b,
+            "checkpoint A and B differ (distinct library generations)",
+        )
+
+        live = tempfile.NamedTemporaryFile(
+            prefix="dc_serve_live_", suffix=".ckpt", delete=False
+        )
+        live.write(bytes_a)
+        live.close()
+        srv = ServerProcess(
+            args.server,
+            ["--domain", args.domain, "--checkpoint", live.name,
+             "--workers", "2", "--queue", "8"],
+        )
+        try:
+            c = srv.connect()
+            params = solve_params(IDENTITY, timeout_ms=60000,
+                                  node_budget=50000)
+
+            base = c.request("solve", params)
+            check(
+                base.get("ok") and base["result"]["epoch"] == 1,
+                "baseline solve runs on epoch 1",
+            )
+            sig_a = json.dumps(base["result"]["programs"])
+
+            # Rewriting the file is invisible until a reload: the loaded
+            # epoch, not the path, is the serving truth.
+            with open(live.name, "wb") as f:
+                f.write(bytes_b)
+            mid = c.request("solve", params)
+            check(
+                mid["result"]["epoch"] == 1
+                and json.dumps(mid["result"]["programs"]) == sig_a,
+                "answers unchanged after file overwrite, before reload",
+            )
+
+            srv.sighup()
+            wait_until(
+                lambda: c.request("stats")["result"]["domains"][
+                    args.domain]["epoch"] == 2,
+                "SIGHUP publishes epoch 2",
+            )
+            check(
+                c.request("stats")["result"]["reloads"] == 1,
+                "stats counts exactly one reload",
+            )
+
+            # Same connection, new epoch, new answers.
+            post = c.request("solve", params)
+            check(
+                post.get("ok") and post["result"]["epoch"] == 2,
+                "post-reload solve runs on epoch 2",
+            )
+            check(
+                json.dumps(post["result"]["programs"]) != sig_a,
+                "post-reload answers reflect checkpoint B",
+            )
+            c.close()
+
+            srv.sigterm()
+            rc, out = srv.wait()
+            check(rc == 0, "scenario-3 server exits 0 after hot reload")
+            check("1 reloads" in out, "final stats line counts the reload")
+        finally:
+            srv.kill()
+            try:
+                os.unlink(live.name)
+            except OSError:
+                pass
+
     print("smoke: all checks passed")
 
 
@@ -398,12 +491,38 @@ def main():
     )
     p.add_argument("--timeout-ms", type=int)
     p.add_argument("--node-budget", type=int)
+    p.add_argument(
+        "--domain", help="route to this domain on a multi-domain server"
+    )
+
+    p = sub.add_parser("reload")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, required=True)
+    p.add_argument(
+        "--domain", help="domain to reload (default: the server's default)"
+    )
+    p.add_argument(
+        "--checkpoint",
+        help="new grammar checkpoint path ('' clears back to the base "
+        "primitives with uniform weights)",
+    )
+    p.add_argument(
+        "--model",
+        help="new recognition model path ('' serves grammar-only)",
+    )
+    p.add_argument("--seed", type=int, help="new domain corpus seed")
 
     p = sub.add_parser("smoke")
     p.add_argument("--server", required=True, help="path to dc_serve")
     p.add_argument("--domain", default="list")
     p.add_argument("--checkpoint", help="grammar checkpoint to serve")
     p.add_argument("--model", help="recognition model checkpoint")
+    p.add_argument(
+        "--checkpoint-b",
+        help="second, different checkpoint: enables the hot-reload "
+        "scenario (serve A, overwrite with B, SIGHUP, assert the "
+        "answers change only after the reload)",
+    )
 
     args = ap.parse_args()
 
@@ -419,6 +538,17 @@ def main():
     try:
         if args.cmd in ("health", "stats"):
             resp = client.request(args.cmd)
+        elif args.cmd == "reload":
+            params = {}
+            if args.domain:
+                params["domain"] = args.domain
+            if args.checkpoint is not None:
+                params["checkpoint"] = args.checkpoint
+            if args.model is not None:
+                params["model"] = args.model
+            if args.seed is not None:
+                params["seed"] = args.seed
+            resp = client.request("reload", params or None)
         else:
             if args.task:
                 params = {"task": args.task}
@@ -433,6 +563,8 @@ def main():
                 params["timeout_ms"] = args.timeout_ms
             if args.node_budget is not None:
                 params["node_budget"] = args.node_budget
+            if args.domain:
+                params["domain"] = args.domain
             resp = client.request("solve", params)
     finally:
         client.close()

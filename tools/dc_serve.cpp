@@ -1,17 +1,23 @@
 //===- tools/dc_serve.cpp - Long-running synthesis service ----------------===//
 //
-// Serves solve requests over line-delimited JSON TCP against a learned
-// grammar checkpoint (and optionally a trained recognition model):
+// Serves solve requests over line-delimited JSON TCP against learned
+// grammar checkpoints (and optionally trained recognition models), one
+// or more domains per process:
 //
 //   dc_run --domain list --iterations 3 --checkpoint lib.ckpt
-//   dc_serve --domain list --checkpoint lib.ckpt --port 7777
+//   dc_serve --domain list --checkpoint lib.ckpt
+//            --domain text --checkpoint text.ckpt --port 7777
 //
 //   $ printf '%s\n' '{"id":1,"method":"solve","params":{"task":"..."}}' |
 //       nc 127.0.0.1 7777
 //
-// tools/dc_client.py wraps the protocol for scripting and CI. SIGTERM or
-// SIGINT triggers graceful shutdown: stop accepting, drain in-flight
-// requests, flush telemetry, exit 0.
+// Requests route by their optional "domain" field (default: the first
+// --domain). SIGHUP hot-reloads every domain from its checkpoint/model
+// paths without dropping a connection or an admitted request; the
+// `reload` admin request does the same for one domain, optionally with
+// new paths. tools/dc_client.py wraps the protocol for scripting and
+// CI. SIGTERM or SIGINT triggers graceful shutdown: stop accepting,
+// drain in-flight requests, flush telemetry, exit 0.
 //
 //===----------------------------------------------------------------------===//
 
@@ -28,6 +34,8 @@
 #include <thread>
 #include <unistd.h>
 
+#include <vector>
+
 using namespace dc;
 using namespace dc::serve;
 
@@ -36,11 +44,17 @@ namespace {
 void usage(const char *Argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [--domain NAME] [--seed N] [--checkpoint PATH]\n"
-      "          [--model PATH] [--port N] [--port-file PATH]\n"
+      "usage: %s [--domain NAME [--seed N] [--checkpoint PATH]\n"
+      "                         [--model PATH] [--node-budget N]\n"
+      "                         [--max-node-budget N]]...\n"
+      "          [--port N] [--port-file PATH]\n"
       "          [--workers N] [--queue N] [--default-timeout-ms N]\n"
-      "          [--node-budget N] [--max-node-budget N]\n"
       "          [--metrics-out PATH] [--trace-out PATH] [--verbose]\n"
+      "--domain:     may repeat to serve several domains from one\n"
+      "              process; requests route by their \"domain\" field,\n"
+      "              and the first --domain is the default route.\n"
+      "              --seed/--checkpoint/--model/--node-budget/\n"
+      "              --max-node-budget apply to the most recent --domain\n"
       "--checkpoint: grammar checkpoint from dc_run (omit to serve the\n"
       "              domain's base primitives with uniform weights)\n"
       "--model:      trained recognition model (saveRecognitionModel\n"
@@ -53,27 +67,53 @@ void usage(const char *Argv0) {
       "              with the structured 'overloaded' error (default 16)\n"
       "--default-timeout-ms: per-request deadline when the request sets\n"
       "              none (default 5000)\n"
+      "signals: SIGHUP reloads every domain's checkpoint+model from disk\n"
+      "         and atomically publishes the new library epoch (nothing\n"
+      "         in flight is dropped); SIGTERM/SIGINT drain and exit 0\n"
       "domains: list text logo tower regex regression physics origami\n",
       Argv0);
 }
 
 /// Signal handling via the self-pipe trick: the handler only write()s (one
 /// of the few async-signal-safe calls); a watcher thread does the real
-/// shutdown work in normal thread context.
+/// work — reload on 'H', shutdown on 'T' — in normal thread context.
 int SignalPipe[2] = {-1, -1};
 
-void onSignal(int) {
-  char Byte = 1;
+void onSignal(int Sig) {
+  char Byte = Sig == SIGHUP ? 'H' : 'T';
   [[maybe_unused]] ssize_t N = ::write(SignalPipe[1], &Byte, 1);
+}
+
+void reloadAllDomains(ServiceRegistry &Registry, Server &Srv) {
+  for (const std::string &Name : Registry.domainNames()) {
+    std::string Err;
+    ServiceRegistry::Snapshot Fresh = Registry.reload(Name, &Err);
+    Srv.noteReload(Fresh != nullptr);
+    if (Fresh)
+      std::printf("reload %s: epoch %lu (%zu productions)\n", Name.c_str(),
+                  Fresh->epoch(), Fresh->grammar().productions().size());
+    else
+      std::printf("reload %s failed: %s (old epoch keeps serving)\n",
+                  Name.c_str(), Err.c_str());
+  }
+  std::fflush(stdout);
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
-  ServiceConfig SvcConfig;
+  std::vector<ServiceConfig> Domains;
   ServerConfig SrvConfig;
   std::string PortFile, MetricsPath, TracePath;
   bool Verbose = false;
+
+  // Per-domain flags bind to the most recent --domain; a per-domain
+  // flag before any --domain implicitly opens the default "list" entry.
+  auto Current = [&]() -> ServiceConfig & {
+    if (Domains.empty())
+      Domains.emplace_back();
+    return Domains.back();
+  };
 
   for (int I = 1; I < Argc; ++I) {
     auto Next = [&]() -> const char * {
@@ -83,14 +123,19 @@ int main(int Argc, char **Argv) {
       }
       return Argv[++I];
     };
-    if (!std::strcmp(Argv[I], "--domain"))
-      SvcConfig.DomainName = Next();
-    else if (!std::strcmp(Argv[I], "--seed"))
-      SvcConfig.DomainSeed = static_cast<unsigned>(std::atoi(Next()));
+    if (!std::strcmp(Argv[I], "--domain")) {
+      Domains.emplace_back();
+      Domains.back().DomainName = Next();
+    } else if (!std::strcmp(Argv[I], "--seed"))
+      Current().DomainSeed = static_cast<unsigned>(std::atoi(Next()));
     else if (!std::strcmp(Argv[I], "--checkpoint"))
-      SvcConfig.CheckpointPath = Next();
+      Current().CheckpointPath = Next();
     else if (!std::strcmp(Argv[I], "--model"))
-      SvcConfig.ModelPath = Next();
+      Current().ModelPath = Next();
+    else if (!std::strcmp(Argv[I], "--node-budget"))
+      Current().DefaultNodeBudget = std::atol(Next());
+    else if (!std::strcmp(Argv[I], "--max-node-budget"))
+      Current().MaxNodeBudget = std::atol(Next());
     else if (!std::strcmp(Argv[I], "--port"))
       SrvConfig.Port = std::atoi(Next());
     else if (!std::strcmp(Argv[I], "--port-file"))
@@ -101,10 +146,6 @@ int main(int Argc, char **Argv) {
       SrvConfig.QueueCapacity = std::atoi(Next());
     else if (!std::strcmp(Argv[I], "--default-timeout-ms"))
       SrvConfig.DefaultTimeoutMs = std::atol(Next());
-    else if (!std::strcmp(Argv[I], "--node-budget"))
-      SvcConfig.DefaultNodeBudget = std::atol(Next());
-    else if (!std::strcmp(Argv[I], "--max-node-budget"))
-      SvcConfig.MaxNodeBudget = std::atol(Next());
     else if (!std::strcmp(Argv[I], "--metrics-out"))
       MetricsPath = Next();
     else if (!std::strcmp(Argv[I], "--trace-out"))
@@ -116,6 +157,8 @@ int main(int Argc, char **Argv) {
       return 2;
     }
   }
+  if (Domains.empty())
+    Domains.emplace_back(); // default: list, uniform weights
 
   // Telemetry is write-only: enabling it records serve.* metrics without
   // changing any answer (same contract as dc_run).
@@ -125,21 +168,29 @@ int main(int Argc, char **Argv) {
     obs::Tracer::global().clear();
   }
 
-  std::string Err;
-  std::unique_ptr<Service> Svc = Service::create(SvcConfig, &Err);
-  if (!Svc) {
-    std::fprintf(stderr, "error: %s\n", Err.c_str());
-    return 1;
+  ServiceRegistry Registry;
+  for (const ServiceConfig &SvcConfig : Domains) {
+    if (Registry.lookup(SvcConfig.DomainName)) {
+      std::fprintf(stderr, "error: domain '%s' given twice\n",
+                   SvcConfig.DomainName.c_str());
+      return 1;
+    }
+    std::string Err;
+    std::unique_ptr<Service> Svc = Service::create(SvcConfig, &Err);
+    if (!Svc) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::printf(
+        "domain %s: %zu productions, %zu train + %zu test tasks%s\n",
+        Svc->domain().Name.c_str(), Svc->grammar().productions().size(),
+        Svc->domain().TrainTasks.size(), Svc->domain().TestTasks.size(),
+        Svc->hasRecognitionModel() ? ", recognition model loaded" : "");
+    Registry.install(std::move(Svc));
   }
-  std::printf("domain %s: %zu productions, %zu train + %zu test tasks%s\n",
-              Svc->domain().Name.c_str(),
-              Svc->grammar().productions().size(),
-              Svc->domain().TrainTasks.size(),
-              Svc->domain().TestTasks.size(),
-              Svc->hasRecognitionModel() ? ", recognition model loaded"
-                                         : "");
 
-  std::unique_ptr<Server> Srv = Server::start(*Svc, SrvConfig, &Err);
+  std::string Err;
+  std::unique_ptr<Server> Srv = Server::start(Registry, SrvConfig, &Err);
   if (!Srv) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 1;
@@ -153,18 +204,32 @@ int main(int Argc, char **Argv) {
   SA.sa_handler = onSignal;
   ::sigaction(SIGTERM, &SA, nullptr);
   ::sigaction(SIGINT, &SA, nullptr);
-  std::thread SignalWatcher([&Srv] {
-    char Byte;
-    while (::read(SignalPipe[0], &Byte, 1) < 0 && errno == EINTR) {
+  ::sigaction(SIGHUP, &SA, nullptr);
+  std::thread SignalWatcher([&Srv, &Registry] {
+    for (;;) {
+      char Byte = 0;
+      ssize_t N = ::read(SignalPipe[0], &Byte, 1);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        return;
+      if (Byte == 'H') {
+        std::printf("SIGHUP: reloading all domains...\n");
+        reloadAllDomains(Registry, *Srv);
+        continue;
+      }
+      std::printf("shutting down: draining in-flight requests...\n");
+      std::fflush(stdout);
+      Srv->requestShutdown();
+      return;
     }
-    std::printf("shutting down: draining in-flight requests...\n");
-    std::fflush(stdout);
-    Srv->requestShutdown();
   });
 
-  std::printf("dc_serve listening on %s:%d (%d workers, queue %d)\n",
+  std::printf("dc_serve listening on %s:%d (%d workers, queue %d, "
+              "%zu domain%s)\n",
               SrvConfig.BindAddress.c_str(), Srv->port(), SrvConfig.Workers,
-              SrvConfig.QueueCapacity);
+              SrvConfig.QueueCapacity, Registry.size(),
+              Registry.size() == 1 ? "" : "s");
   std::fflush(stdout);
   if (!PortFile.empty()) {
     std::ofstream Out(PortFile);
@@ -176,7 +241,7 @@ int main(int Argc, char **Argv) {
   // Unblock the watcher if shutdown came from somewhere other than a
   // signal (e.g. a future admin endpoint); double-close is avoided by
   // closing exactly once here.
-  char Byte = 1;
+  char Byte = 'T';
   [[maybe_unused]] ssize_t N = ::write(SignalPipe[1], &Byte, 1);
   SignalWatcher.join();
   ::close(SignalPipe[0]);
@@ -184,9 +249,9 @@ int main(int Argc, char **Argv) {
 
   ServerStats Final = Srv->stats();
   std::printf("served %ld requests (%ld solved, %ld no-solution, "
-              "%ld timeout, %ld rejected, %ld bad)\n",
+              "%ld timeout, %ld rejected, %ld bad, %ld reloads)\n",
               Final.Accepted, Final.Solved, Final.NoSolution, Final.Timeout,
-              Final.Rejected, Final.BadRequest);
+              Final.Rejected, Final.BadRequest, Final.Reloads);
 
   if (!MetricsPath.empty()) {
     std::ofstream Out(MetricsPath);

@@ -1,0 +1,208 @@
+//===- bench/bench_predict_batch.cpp - Batched recognition inference ------===//
+//
+// Throughput effect of predictBatch(): one blocked GEMM per layer for a
+// whole batch of tasks versus one matvec chain per task. The determinism
+// contract (DESIGN.md §5) says element k of a batch is bit-identical to
+// predict() on task k for every batch size and composition — verified
+// here by a guide fingerprint over every slot weight, batched vs
+// sequential, driven from 1/4/8 concurrent threads, exiting nonzero on
+// any divergence. The throughput gate requires batch-8 predictBatch to
+// beat 8 sequential predicts by >= 2x: the GEMM's register tiling keeps
+// 16 independent accumulators in flight where the matvec path is one
+// FMA latency chain, so the speedup holds even on a single core.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchUtil.h"
+#include "core/Primitives.h"
+#include "core/ProgramParser.h"
+#include "core/Recognition.h"
+
+#include <cstdio>
+#include <thread>
+
+using namespace dc;
+using namespace dcbench;
+
+namespace {
+
+TaskPtr intTask(const std::string &Name,
+                const std::function<long(long)> &F) {
+  std::vector<Example> Ex;
+  for (long X : {1, 2, 3, 5, 8, 13})
+    Ex.push_back({{Value::makeInt(X)}, Value::makeInt(F(X))});
+  return std::make_shared<Task>(Name, Type::arrow(tInt(), tInt()), Ex);
+}
+
+/// Eight distinct arithmetic tasks — the batch the serve-side collector
+/// typically hands predictBatch under pipelined load.
+std::vector<Fantasy> buildCorpus() {
+  struct Spec {
+    const char *Name;
+    const char *Src;
+    std::function<long(long)> F;
+  };
+  const Spec Specs[] = {
+      {"inc", "(lambda (+ $0 1))", [](long X) { return X + 1; }},
+      {"dec", "(lambda (- $0 1))", [](long X) { return X - 1; }},
+      {"dbl", "(lambda (+ $0 $0))", [](long X) { return X + X; }},
+      {"sqr", "(lambda (* $0 $0))", [](long X) { return X * X; }},
+      {"inc2", "(lambda (+ (+ $0 1) 1))", [](long X) { return X + 2; }},
+      {"dbl-inc", "(lambda (+ (+ $0 $0) 1))",
+       [](long X) { return 2 * X + 1; }},
+      {"sqr-inc", "(lambda (+ (* $0 $0) 1))",
+       [](long X) { return X * X + 1; }},
+      {"tri", "(lambda (+ (* $0 $0) $0))",
+       [](long X) { return X * X + X; }},
+  };
+  std::vector<Fantasy> Pairs;
+  for (const Spec &S : Specs) {
+    ExprPtr P = parseProgram(S.Src);
+    if (!P) {
+      std::fprintf(stderr, "bad corpus program: %s\n", S.Src);
+      std::exit(1);
+    }
+    Pairs.push_back({intTask(S.Name, S.F), P, -3.0});
+  }
+  return Pairs;
+}
+
+/// FNV-1a over a byte range (the bench-side twin of weightFingerprint).
+std::uint64_t fnv1a(std::uint64_t H, const void *Data, size_t Len) {
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < Len; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+} // namespace
+
+int main() {
+  dcbench::JsonReport Report("predict_batch");
+  banner("Batched recognition inference (GEMM predictBatch)");
+
+  std::vector<ExprPtr> Core = prims::functionalCore();
+  std::vector<ExprPtr> Extra = prims::arithmeticExtras();
+  Core.insert(Core.end(), Extra.begin(), Extra.end());
+  Grammar G = Grammar::uniform(Core);
+  IoFeaturizer Featurizer;
+  std::vector<Fantasy> Corpus = buildCorpus();
+
+  // A serving-sized trunk: wide enough that the forward pass dominates
+  // featurization and grammar fill, as it does for real checkpoints.
+  RecognitionParams RP;
+  RP.HiddenDim = 256;
+  RP.TrainingSteps = 50;
+  RP.Seed = 11;
+  RP.NumThreads = 1;
+  RecognitionModel Model(G, Featurizer, RP);
+  Model.trainOnPairs(Corpus);
+
+  std::vector<const Task *> Ptrs;
+  for (const Fantasy &P : Corpus)
+    Ptrs.push_back(P.T.get());
+  const int Batch = static_cast<int>(Ptrs.size());
+  row("batch size", static_cast<double>(Batch));
+  row("hidden dim", static_cast<double>(RP.HiddenDim));
+
+  // Every slot weight of every task's guide, as raw bits — any numeric
+  // divergence between the batched and sequential paths moves this
+  // fingerprint. ParentIdx runs ParentStart (-2), ParentVariable (-1),
+  // then one slot family per production; ArgIdx clamping makes repeat
+  // visits harmless (identical on both paths).
+  auto GuideFingerprint = [&](const std::vector<ContextualGrammar> &Gs) {
+    std::uint64_t H = 1469598103934665603ull;
+    for (const ContextualGrammar &CG : Gs) {
+      const int NumProds = static_cast<int>(CG.productions().size());
+      const int Arity = std::max(1, CG.maxArity());
+      for (int Parent = ParentStart; Parent < NumProds; ++Parent)
+        for (int Arg = 0; Arg < Arity; ++Arg) {
+          const Grammar &Slot = CG.slot(Parent, Arg);
+          for (const Production &P : Slot.productions())
+            H = fnv1a(H, &P.LogWeight, sizeof(P.LogWeight));
+          const double LogVar = Slot.logVariable();
+          H = fnv1a(H, &LogVar, sizeof(LogVar));
+        }
+    }
+    return H;
+  };
+
+  std::vector<ContextualGrammar> Sequential;
+  for (const Task *T : Ptrs)
+    Sequential.push_back(Model.predict(*T));
+  const std::uint64_t FpSeq = GuideFingerprint(Sequential);
+
+  // Bit-identity gate: batched == sequential, from 1/4/8 concurrent
+  // callers (the collector runs next to worker-thread predicts).
+  bool Identical = true;
+  for (int Threads : {1, 4, 8}) {
+    std::vector<char> ThreadOk(Threads, 1);
+    std::vector<std::thread> Workers;
+    for (int W = 0; W < Threads; ++W)
+      Workers.emplace_back([&, W] {
+        for (int Round = 0; Round < 5; ++Round) {
+          std::vector<ContextualGrammar> Batched = Model.predictBatch(Ptrs);
+          if (GuideFingerprint(Batched) != FpSeq)
+            ThreadOk[W] = 0;
+        }
+      });
+    for (std::thread &T : Workers)
+      T.join();
+    for (char Ok : ThreadOk)
+      Identical = Identical && Ok;
+  }
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(FpSeq));
+  if (Identical)
+    note(std::string("batched guides bit-identical to predict() at 1/4/8 "
+                     "threads (fingerprint: ") +
+         Buf + ")");
+  else
+    note("ERROR: batched guides diverged from sequential predict()");
+  if (!Identical)
+    std::exit(1);
+
+  // Throughput: batch-8 predictBatch vs 8 sequential predicts. Warm up
+  // first so lazily sized workspaces do not bill their allocation to
+  // either side.
+  constexpr int Reps = 200;
+  for (int I = 0; I < 3; ++I) {
+    for (const Task *T : Ptrs)
+      Model.predict(*T);
+    Model.predictBatch(Ptrs);
+  }
+  double SeqSec = 0, BatchSec = 0;
+  {
+    WallTimer Timer;
+    for (int I = 0; I < Reps; ++I)
+      for (const Task *T : Ptrs)
+        Model.predict(*T);
+    SeqSec = Timer.seconds();
+  }
+  {
+    WallTimer Timer;
+    for (int I = 0; I < Reps; ++I)
+      Model.predictBatch(Ptrs);
+    BatchSec = Timer.seconds();
+  }
+  row("sequential predict x" + std::to_string(Batch) + " (" +
+          std::to_string(Reps) + " reps)",
+      SeqSec, "s");
+  row("predictBatch(" + std::to_string(Batch) + ") (" +
+          std::to_string(Reps) + " reps)",
+      BatchSec, "s");
+  const double Speedup = BatchSec > 0 ? SeqSec / BatchSec : 0.0;
+  row("batched speedup", Speedup, "x");
+  if (Speedup < 2.0) {
+    std::snprintf(Buf, sizeof(Buf),
+                  "ERROR: batched speedup %.2fx below the 2.0x gate",
+                  Speedup);
+    note(Buf);
+    std::exit(1);
+  }
+  note("batch-8 throughput gate (>= 2.0x over sequential) passed");
+  return 0;
+}

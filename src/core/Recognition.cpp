@@ -55,14 +55,11 @@ int RecognitionModel::slotIndex(int ParentIdx, int ArgIdx) const {
   return Slot;
 }
 
-double RecognitionModel::exampleLossAndGrad(const std::vector<float> &Features,
-                                            const TypePtr &Request,
-                                            ExprPtr Program,
-                                            nn::Workspace &WS,
-                                            nn::Gradients &G,
-                                            float GradScale) const {
-  const std::vector<float> &Logits = Net.forward(Features, WS);
-  std::vector<float> &DLogits = WS.Scratch;
+double RecognitionModel::lossAndDLogits(const std::vector<float> &Logits,
+                                        const TypePtr &Request,
+                                        ExprPtr Program,
+                                        std::vector<float> &DLogits,
+                                        bool *HadDecisions) const {
   DLogits.assign(Logits.size(), 0.0f);
   double Loss = 0;
   int Decisions = 0;
@@ -99,14 +96,36 @@ double RecognitionModel::exampleLossAndGrad(const std::vector<float> &Features,
           DLogits[I] += std::exp(LogProbs[I]);
         DLogits[Target] -= 1.0f;
       });
-  if (!Ok || Decisions == 0)
-    return 0.0; // outside support: contribute nothing
-
-  if (GradScale != 1.0f)
-    for (float &D : DLogits)
-      D *= GradScale;
-  Net.backward(DLogits, WS, G);
+  if (!Ok || Decisions == 0) {
+    // Outside support: contribute nothing — including any partial
+    // accumulation the walk made before failing.
+    DLogits.assign(Logits.size(), 0.0f);
+    if (HadDecisions)
+      *HadDecisions = false;
+    return 0.0;
+  }
+  if (HadDecisions)
+    *HadDecisions = true;
   return Loss; // total cross-entropy over this program's decisions
+}
+
+double RecognitionModel::exampleLossAndGrad(const std::vector<float> &Features,
+                                            const TypePtr &Request,
+                                            ExprPtr Program,
+                                            nn::Workspace &WS,
+                                            nn::Gradients &G,
+                                            float GradScale) const {
+  const std::vector<float> &Logits = Net.forward(Features, WS);
+  bool HadDecisions = false;
+  double Loss =
+      lossAndDLogits(Logits, Request, Program, WS.Scratch, &HadDecisions);
+  if (!HadDecisions)
+    return 0.0; // outside support: no backward, no gradient
+  if (GradScale != 1.0f)
+    for (float &D : WS.Scratch)
+      D *= GradScale;
+  Net.backward(WS.Scratch, WS, G);
+  return Loss;
 }
 
 void RecognitionModel::trainOnPairs(const std::vector<Fantasy> &Pairs) {
@@ -126,18 +145,22 @@ void RecognitionModel::trainOnPairs(const std::vector<Fantasy> &Pairs) {
   const int Steps = (std::max(1, Params.TrainingSteps) + Batch - 1) / Batch;
   const float Scale = 1.0f / static_cast<float>(Batch);
 
-  // Per-example slots, reused across steps: each minibatch example gets a
-  // private workspace + gradient buffer, and the buffers are reduced in
-  // example order below, so the summed gradient (and hence every weight)
-  // is a pure function of the seed — never of the thread count.
-  std::vector<nn::Workspace> Workspaces(Batch);
-  std::vector<nn::Gradients> Grads;
-  Grads.reserve(Batch);
-  for (int J = 0; J < Batch; ++J)
-    Grads.emplace_back(Net);
+  // One workspace carries the whole minibatch: forward is one GEMM per
+  // layer over the B feature rows, backward one GEMM per layer straight
+  // into BatchGrad. Per output element the GEMM accumulates in ascending
+  // example order — exactly the order the old per-example-Gradients
+  // reduce used — so the summed gradient (and hence every weight) stays
+  // a pure function of the seed, never of the thread count, and is
+  // bit-identical to the pre-GEMM path (DESIGN.md §5).
+  nn::Workspace WS;
   nn::Gradients BatchGrad(Net);
   std::vector<size_t> Picked(Batch);
   std::vector<double> Losses(Batch);
+  std::vector<std::vector<float>> Inputs(Batch);
+  // Per-example row buffers for the decision-walk fan-out (the only
+  // stage still fanned over the pool: it is search-structure work, not
+  // linear algebra). Index-addressed, so the fan-out is order-free.
+  std::vector<std::vector<float>> LogitRows(Batch), DRows(Batch);
 
   double RunningLoss = 0;
   long Counted = 0;
@@ -151,17 +174,32 @@ void RecognitionModel::trainOnPairs(const std::vector<Fantasy> &Pairs) {
     // The example draws stay on the caller's RNG stream, in step order.
     for (int J = 0; J < Batch; ++J)
       Picked[J] = Pick(Rng);
+    for (int J = 0; J < Batch; ++J)
+      Inputs[J] = Features[Picked[J]];
+
+    // One GEMM per layer for the whole minibatch's forward.
+    const nn::Matrix &Logits = Net.forwardBatch(Inputs, WS);
+    const int OutDim = Logits.cols();
+
+    // Decision walks fan out over the pool: each example reads its own
+    // logit row and fills its own dL/dlogits row.
     int64_t GradStart = TimeSteps ? obs::Tracer::global().nowMicros() : 0;
     parallelFor(Params.NumThreads, static_cast<size_t>(Batch),
                 [&](size_t J) {
                   int64_t T0 = TimeSteps
                                    ? obs::Tracer::global().nowMicros()
                                    : 0;
-                  Grads[J].zero();
+                  const float *Row =
+                      Logits.data() + J * static_cast<size_t>(OutDim);
+                  LogitRows[J].assign(Row, Row + OutDim);
                   const Fantasy &P = Pairs[Picked[J]];
-                  Losses[J] = exampleLossAndGrad(
-                      Features[Picked[J]], P.T->request(), P.Program,
-                      Workspaces[J], Grads[J], Scale);
+                  bool HadDecisions = false;
+                  Losses[J] =
+                      lossAndDLogits(LogitRows[J], P.T->request(),
+                                     P.Program, DRows[J], &HadDecisions);
+                  if (HadDecisions)
+                    for (float &D : DRows[J])
+                      D *= Scale;
                   if (TimeSteps) {
                     int64_t Dur =
                         obs::Tracer::global().nowMicros() - T0;
@@ -176,9 +214,16 @@ void RecognitionModel::trainOnPairs(const std::vector<Fantasy> &Pairs) {
       obs::countAdd("recognition.grad_wall_micros",
                     ReduceStart - GradStart);
     }
-    // Deterministic reduction: example-index order, always.
+    // One GEMM per layer accumulates the whole batch into BatchGrad
+    // (ascending example order per element — the deterministic
+    // reduction, now inside the kernel). An out-of-support example's
+    // all-zero row contributes exactly nothing, as before.
+    WS.BatchScratch.resize(Batch, OutDim);
+    for (int J = 0; J < Batch; ++J)
+      std::copy(DRows[J].begin(), DRows[J].end(),
+                WS.BatchScratch.data() + static_cast<size_t>(J) * OutDim);
+    Net.backwardBatch(WS.BatchScratch, WS, BatchGrad);
     for (int J = 0; J < Batch; ++J) {
-      BatchGrad.add(Grads[J]);
       RunningLoss += Losses[J];
       ++Counted;
     }
@@ -275,6 +320,30 @@ ContextualGrammar RecognitionModel::predict(const Task &T) const {
   ContextualGrammar CG(Base);
   fillGrammarWeights(Logits, CG);
   return CG;
+}
+
+std::vector<ContextualGrammar>
+RecognitionModel::predictBatch(std::span<const Task *const> Tasks) const {
+  std::vector<ContextualGrammar> Out;
+  Out.reserve(Tasks.size());
+  if (Tasks.empty())
+    return Out;
+  std::vector<std::vector<float>> Features;
+  Features.reserve(Tasks.size());
+  for (const Task *T : Tasks)
+    Features.push_back(Featurizer.featurize(*T));
+  nn::Workspace WS; // call-local, like predict(): no sharing, no locks
+  const nn::Matrix &Logits = Net.forwardBatch(Features, WS);
+  std::vector<float> Row(Logits.cols());
+  for (size_t K = 0; K < Tasks.size(); ++K) {
+    const float *Src =
+        Logits.data() + K * static_cast<size_t>(Logits.cols());
+    Row.assign(Src, Src + Logits.cols());
+    ContextualGrammar CG(Base);
+    fillGrammarWeights(Row, CG);
+    Out.push_back(std::move(CG));
+  }
+  return Out;
 }
 
 Grammar RecognitionModel::predictUnigram(const Task &T) const {

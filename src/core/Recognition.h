@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
+#include <span>
 
 namespace dc {
 
@@ -94,6 +95,16 @@ public:
   /// local workspace, the net is read-only here).
   ContextualGrammar predict(const Task &T) const;
 
+  /// Batched predict: one forward GEMM for all of \p Tasks, one grammar
+  /// per task in input order. Determinism contract: element k is
+  /// bit-identical to predict(*Tasks[k]) for every batch size and
+  /// composition — in particular predictBatch({&T})[0] == predict(T) —
+  /// because the batched forward keeps the per-row matvec accumulation
+  /// order (DESIGN.md §5). Thread-safe like predict(): all state is
+  /// call-local.
+  std::vector<ContextualGrammar>
+  predictBatch(std::span<const Task *const> Tasks) const;
+
   /// Unigram variant (only meaningful with Bigram = false, but always
   /// available: it reads the start slot). Thread-safe like predict().
   Grammar predictUnigram(const Task &T) const;
@@ -134,6 +145,15 @@ private:
   int slotIndex(int ParentIdx, int ArgIdx) const;
   void fillGrammarWeights(const std::vector<float> &Logits,
                           ContextualGrammar &CG) const;
+  /// Cross-entropy loss and dL/dlogits for one (task, program) pair:
+  /// fills \p DLogits (zeroed first; re-zeroed and loss 0 when the
+  /// program falls outside the grammar's support, with \p HadDecisions
+  /// set false). The decision walk shared by the per-example and the
+  /// batched training paths.
+  double lossAndDLogits(const std::vector<float> &Logits,
+                        const TypePtr &Request, ExprPtr Program,
+                        std::vector<float> &DLogits,
+                        bool *HadDecisions) const;
 
   const Grammar &Base;
   ContextualGrammar Structure; ///< uniform copy used for support queries

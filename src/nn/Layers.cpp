@@ -24,6 +24,24 @@ void tanhBackwardInto(const std::vector<float> &DY,
     DX[I] = DY[I] * (1.0f - A[I] * A[I]);
 }
 
+/// In-place tanh over every element of a batch matrix (same std::tanh
+/// per element as the single-example path).
+void tanhBatchInPlace(Matrix &M) {
+  float *D = M.data();
+  for (size_t I = 0, N = M.size(); I < N; ++I)
+    D[I] = std::tanh(D[I]);
+}
+
+/// In-place batched tanh backward: M ⊙= (1 - A²), elementwise.
+void tanhBackwardBatchInPlace(Matrix &M, const Matrix &A) {
+  assert(M.rows() == A.rows() && M.cols() == A.cols() &&
+         "tanh backward shape mismatch");
+  float *D = M.data();
+  const float *AV = A.data();
+  for (size_t I = 0, N = M.size(); I < N; ++I)
+    D[I] = D[I] * (1.0f - AV[I] * AV[I]);
+}
+
 } // namespace
 
 void Linear::forward(const std::vector<float> &X,
@@ -40,6 +58,23 @@ void Linear::backward(const std::vector<float> &DY,
   for (size_t I = 0; I < DB.size(); ++I)
     DB[I] += DY[I];
   W.matvecTransposedInto(DY, DX);
+}
+
+void Linear::forwardBatch(const Matrix &X, Matrix &Y) const {
+  W.matmulInto(X, Y);
+  const int Out = static_cast<int>(B.size());
+  for (int Bi = 0; Bi < Y.rows(); ++Bi) {
+    float *Row = Y.data() + static_cast<size_t>(Bi) * Out;
+    for (int I = 0; I < Out; ++I)
+      Row[I] += B[I];
+  }
+}
+
+void Linear::backwardBatch(const Matrix &DY, const Matrix &X, Matrix &DW,
+                           std::vector<float> &DB, Matrix &DX) const {
+  DW.addOuterBatch(DY, X);
+  DY.addColumnSumsTo(DB);
+  W.matmulTransposedInto(DY, DX);
 }
 
 const std::vector<float> &Mlp::forward(const std::vector<float> &X,
@@ -63,6 +98,37 @@ void Mlp::backward(const std::vector<float> &DLogits, Workspace &WS,
   L2.backward(WS.D2, WS.A1, G.DW2, G.DB2, WS.D1);
   tanhBackwardInto(WS.D1, WS.A1, WS.D1);
   L1.backward(WS.D1, WS.In, G.DW1, G.DB1, WS.D0);
+}
+
+const Matrix &Mlp::forwardBatch(const std::vector<std::vector<float>> &X,
+                                Workspace &WS) const {
+  const int B = static_cast<int>(X.size());
+  const int In = L1.inDim();
+  WS.BIn.resize(B, In);
+  for (int Bi = 0; Bi < B; ++Bi) {
+    assert(static_cast<int>(X[Bi].size()) == In &&
+           "forwardBatch input width mismatch");
+    std::copy(X[Bi].begin(), X[Bi].end(),
+              WS.BIn.data() + static_cast<size_t>(Bi) * In);
+  }
+  L1.forwardBatch(WS.BIn, WS.BA1);
+  tanhBatchInPlace(WS.BA1);
+  L2.forwardBatch(WS.BA1, WS.BA2);
+  tanhBatchInPlace(WS.BA2);
+  L3.forwardBatch(WS.BA2, WS.BLogits);
+  return WS.BLogits;
+}
+
+void Mlp::backwardBatch(const Matrix &DLogits, Workspace &WS,
+                        Gradients &G) const {
+  L3.backwardBatch(DLogits, WS.BA2, G.DW3, G.DB3, WS.BD2);
+  tanhBackwardBatchInPlace(WS.BD2, WS.BA2);
+  L2.backwardBatch(WS.BD2, WS.BA1, G.DW2, G.DB2, WS.BD1);
+  tanhBackwardBatchInPlace(WS.BD1, WS.BA1);
+  // First layer: nothing consumes dL/dinput, so skip the transposed
+  // GEMM a full backwardBatch would spend on it.
+  G.DW1.addOuterBatch(WS.BD1, WS.BIn);
+  WS.BD1.addColumnSumsTo(G.DB1);
 }
 
 std::vector<Mlp::ParamSegment> Mlp::parameterSegments() {

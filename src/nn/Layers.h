@@ -12,9 +12,11 @@
 /// the caller. forward() and backward() are therefore const and reentrant:
 /// any number of threads may drive one shared net concurrently as long as
 /// each brings its own Workspace/Gradients (see DESIGN.md, threading
-/// model). Batch size is 1 (tasks are featurized individually); minibatch
-/// training accumulates per-example Gradients and reduces them in a fixed
-/// order before the optimizer steps.
+/// model). Alongside the batch-of-1 forward()/backward(), the net offers
+/// forwardBatch()/backwardBatch() — one blocked GEMM per layer — whose
+/// per-row results and accumulated gradients are bit-identical to the
+/// serial path (DESIGN.md §5): batching is a throughput optimization,
+/// never a numerics change.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -41,12 +43,20 @@ public:
   /// here so per-thread training loops allocate it once, not per example.
   std::vector<float> Scratch;
 
+  /// Batched counterpart of Scratch: one dL/dlogits row per example
+  /// (B × outDim), filled by the loss code and fed to backwardBatch.
+  Matrix BatchScratch;
+
 private:
   friend class Mlp;
   std::vector<float> In;     ///< copy of the forward input (L1's x)
   std::vector<float> A1, A2; ///< tanh activations after L1 / L2
   std::vector<float> Logits; ///< L3 output
   std::vector<float> D2, D1, D0; ///< backward dL/d(activation) scratch
+  Matrix BIn;        ///< batched forward inputs, one example per row
+  Matrix BA1, BA2;   ///< batched tanh activations after L1 / L2
+  Matrix BLogits;    ///< batched L3 output
+  Matrix BD2, BD1;   ///< batched backward dL/d(activation) scratch
 };
 
 /// Parameter-shaped gradient accumulator, detached from the net so many
@@ -96,6 +106,16 @@ public:
                 Matrix &DW, std::vector<float> &DB,
                 std::vector<float> &DX) const;
 
+  /// Batched forward: row b of \p Y = W·(row b of \p X) + B. Each row is
+  /// bit-identical to forward() on that row (GEMM accumulation order,
+  /// bias added after the full dot product).
+  void forwardBatch(const Matrix &X, Matrix &Y) const;
+  /// Batched backward: accumulates the batch's dL/dW into \p DW and
+  /// dL/dB into \p DB (ascending example order per element — the order
+  /// a per-example reduce used), and writes per-row dL/dX into \p DX.
+  void backwardBatch(const Matrix &DY, const Matrix &X, Matrix &DW,
+                     std::vector<float> &DB, Matrix &DX) const;
+
   Matrix W;
   std::vector<float> B;
 };
@@ -119,6 +139,20 @@ public:
   /// preceding forward() left in \p WS, accumulating into \p G.
   void backward(const std::vector<float> &DLogits, Workspace &WS,
                 Gradients &G) const;
+
+  /// Batched forward: one GEMM per layer over \p X (one example per
+  /// entry, all of width inDim). Returns the B × outDim logit matrix
+  /// (valid until the next forwardBatch through the same Workspace);
+  /// row b is bit-identical to forward(X[b]) — see DESIGN.md §5.
+  const Matrix &forwardBatch(const std::vector<std::vector<float>> &X,
+                             Workspace &WS) const;
+  /// Batched backward through the activations forwardBatch left in
+  /// \p WS: accumulates the whole batch's gradients into \p G, per
+  /// element in ascending example order (bit-identical to running
+  /// backward() per example and reducing in example order). Skips the
+  /// never-consumed dL/dinput of the first layer.
+  void backwardBatch(const Matrix &DLogits, Workspace &WS,
+                     Gradients &G) const;
 
   /// One contiguous parameter block.
   struct ParamSegment {

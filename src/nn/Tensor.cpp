@@ -5,6 +5,10 @@
 #include <algorithm>
 #include <cmath>
 
+#ifdef __SSE2__
+#include <emmintrin.h>
+#endif
+
 using namespace dc;
 using namespace dc::nn;
 
@@ -27,7 +31,10 @@ void Matrix::matvecInto(const std::vector<float> &X,
                         std::vector<float> &Y) const {
   assert(static_cast<int>(X.size()) == C && "matvec dimension mismatch");
   assert(&X != &Y && "matvecInto buffers must not alias");
-  Y.resize(R);
+  // Size check hoisted out of the hot loop; steady-state callers (a
+  // Workspace reused across calls) take the branch, never the resize.
+  if (static_cast<int>(Y.size()) != R)
+    Y.resize(R);
   for (int I = 0; I < R; ++I) {
     const float *Row = Data.data() + I * C;
     float Acc = 0;
@@ -66,6 +73,180 @@ void Matrix::addOuter(const std::vector<float> &A, const std::vector<float> &B,
     float Ai = A[I] * Scale;
     for (int J = 0; J < C; ++J)
       Row[J] += Ai * B[J];
+  }
+}
+
+Matrix Matrix::matmul(const Matrix &X) const {
+  Matrix Y;
+  matmulInto(X, Y);
+  return Y;
+}
+
+namespace {
+
+/// Tile edge for the blocked GEMM: 4 output rows × 4 batch lanes per
+/// register tile, compile-time trip counts so the 16 accumulators stay
+/// in registers (runtime `min()` edge bounds make gcc spill the Acc
+/// array to the stack, turning every FMA into load/fma/store — slower
+/// than the matvec chain the tiling is meant to beat).
+constexpr int GemmTile = 4;
+
+/// One full 4×4 tile against a lane-packed X panel: \p XPanel holds the
+/// tile's four batch rows interleaved per J (XPanel[J*4 + lane] =
+/// X[B0+lane][J]), so the inner statement is a contiguous 4-lane load,
+/// a broadcast of W[I][J], and one mul/add per lane — the compiler
+/// vectorizes it without the strict-FP shuffle dance it needs on
+/// row-major X. Acc[T][lane] is the (output row I0+T, batch B0+lane)
+/// element; each sums ascending J from +0 with its own accumulator,
+/// bit-identical to matvecInto.
+#ifdef __SSE2__
+/// SSE2 form of the tile (x86-64 baseline, so every CI target has it).
+/// Spelled in intrinsics because gcc's auto-vectorizer re-tiles the
+/// strict-FP reduction along J with a shuffle/transpose dance that eats
+/// the tiling win; the intrinsic form is the minimal loop. mul/add are
+/// exact per-lane IEEE single ops, so lane (T, L) is still one
+/// accumulator summing ascending J — bitwise the matvecInto result.
+inline void gemmTile4x4(const float *const WRow[GemmTile],
+                        const float *XPanel, int C,
+                        float Acc[GemmTile][GemmTile]) {
+  __m128 A0 = _mm_setzero_ps(), A1 = _mm_setzero_ps();
+  __m128 A2 = _mm_setzero_ps(), A3 = _mm_setzero_ps();
+  for (int J = 0; J < C; ++J) {
+    const __m128 Xv = _mm_loadu_ps(XPanel + static_cast<size_t>(J) * GemmTile);
+    A0 = _mm_add_ps(A0, _mm_mul_ps(_mm_set1_ps(WRow[0][J]), Xv));
+    A1 = _mm_add_ps(A1, _mm_mul_ps(_mm_set1_ps(WRow[1][J]), Xv));
+    A2 = _mm_add_ps(A2, _mm_mul_ps(_mm_set1_ps(WRow[2][J]), Xv));
+    A3 = _mm_add_ps(A3, _mm_mul_ps(_mm_set1_ps(WRow[3][J]), Xv));
+  }
+  _mm_storeu_ps(Acc[0], A0);
+  _mm_storeu_ps(Acc[1], A1);
+  _mm_storeu_ps(Acc[2], A2);
+  _mm_storeu_ps(Acc[3], A3);
+}
+#else
+inline void gemmTile4x4(const float *const WRow[GemmTile],
+                        const float *XPanel, int C,
+                        float Acc[GemmTile][GemmTile]) {
+  for (int J = 0; J < C; ++J) {
+    const float *Xv = XPanel + static_cast<size_t>(J) * GemmTile;
+    for (int T = 0; T < GemmTile; ++T) {
+      const float Wj = WRow[T][J];
+      for (int L = 0; L < GemmTile; ++L)
+        Acc[T][L] += Wj * Xv[L];
+    }
+  }
+}
+#endif
+
+} // namespace
+
+void Matrix::matmulInto(const Matrix &X, Matrix &Y) const {
+  assert(X.C == C && "matmul dimension mismatch");
+  assert(&X != &Y && this != &Y && "matmulInto buffers must not alias");
+  // One size check per batch, not per row (the matvec path pays this
+  // branch once per call).
+  if (Y.R != X.R || Y.C != R)
+    Y.resize(X.R, R);
+  const int B = X.R;
+  // Edge elements (batch or row count not a multiple of the tile) fall
+  // back to a plain dot product — same single accumulator, same
+  // ascending-J order, so every element is bit-identical to matvecInto
+  // whichever path computes it.
+  auto DotInto = [&](int Bi, int I) {
+    const float *Row = Data.data() + static_cast<size_t>(I) * C;
+    const float *Xr = X.Data.data() + static_cast<size_t>(Bi) * C;
+    float Acc = 0;
+    for (int J = 0; J < C; ++J)
+      Acc += Row[J] * Xr[J];
+    Y.Data[static_cast<size_t>(Bi) * R + I] = Acc;
+  };
+  const int BFull = B - B % GemmTile, IFull = R - R % GemmTile;
+  // Lane-packed copy of the full-tile part of X (see gemmTile4x4). One
+  // pass over X, reused by every row tile — noise next to the R×B×C
+  // multiply work it unlocks.
+  std::vector<float> XPack(static_cast<size_t>(BFull) * C);
+  for (int B0 = 0; B0 < BFull; B0 += GemmTile) {
+    float *Panel = XPack.data() + static_cast<size_t>(B0) * C;
+    for (int L = 0; L < GemmTile; ++L) {
+      const float *Xr = X.Data.data() + static_cast<size_t>(B0 + L) * C;
+      for (int J = 0; J < C; ++J)
+        Panel[static_cast<size_t>(J) * GemmTile + L] = Xr[J];
+    }
+  }
+  for (int B0 = 0; B0 < BFull; B0 += GemmTile) {
+    const float *Panel = XPack.data() + static_cast<size_t>(B0) * C;
+    for (int I0 = 0; I0 < IFull; I0 += GemmTile) {
+      const float *WRow[GemmTile];
+      for (int T = 0; T < GemmTile; ++T)
+        WRow[T] = Data.data() + static_cast<size_t>(I0 + T) * C;
+      float Acc[GemmTile][GemmTile] = {};
+      gemmTile4x4(WRow, Panel, C, Acc);
+      for (int L = 0; L < GemmTile; ++L)
+        for (int T = 0; T < GemmTile; ++T)
+          Y.Data[static_cast<size_t>(B0 + L) * R + I0 + T] = Acc[T][L];
+    }
+    for (int I = IFull; I < R; ++I)
+      for (int Bi = B0; Bi < B0 + GemmTile; ++Bi)
+        DotInto(Bi, I);
+  }
+  for (int Bi = BFull; Bi < B; ++Bi)
+    for (int I = 0; I < R; ++I)
+      DotInto(Bi, I);
+}
+
+void Matrix::matmulTransposedInto(const Matrix &X, Matrix &Y) const {
+  assert(X.C == R && "matmulTransposed dimension mismatch");
+  assert(&X != &Y && this != &Y &&
+         "matmulTransposedInto buffers must not alias");
+  if (Y.R != X.R || Y.C != C)
+    Y.resize(X.R, C);
+  const int B = X.R;
+  constexpr int TileB = 4, TileJ = 4;
+  for (int B0 = 0; B0 < B; B0 += TileB) {
+    const int BEnd = std::min(B0 + TileB, B);
+    for (int J0 = 0; J0 < C; J0 += TileJ) {
+      const int JEnd = std::min(J0 + TileJ, C);
+      float Acc[TileB][TileJ] = {};
+      for (int I = 0; I < R; ++I) {
+        const float *Row = Data.data() + static_cast<size_t>(I) * C;
+        for (int Bi = B0; Bi < BEnd; ++Bi) {
+          const float Xi = X.Data[static_cast<size_t>(Bi) * R + I];
+          for (int J = J0; J < JEnd; ++J)
+            Acc[Bi - B0][J - J0] += Row[J] * Xi;
+        }
+      }
+      for (int Bi = B0; Bi < BEnd; ++Bi)
+        for (int J = J0; J < JEnd; ++J)
+          Y.Data[static_cast<size_t>(Bi) * C + J] = Acc[Bi - B0][J - J0];
+    }
+  }
+}
+
+void Matrix::addOuterBatch(const Matrix &A, const Matrix &B, float Scale) {
+  assert(A.R == B.R && "outer-product batch sizes differ");
+  assert(A.C == R && B.C == C && "outer-product dimension mismatch");
+  // Example index stays outermost: per element the contributions land in
+  // ascending batch order — the order the per-example-Gradients reduce
+  // used, so the accumulated gradient is bit-identical to that path.
+  for (int Bi = 0; Bi < A.R; ++Bi) {
+    const float *ARow = A.Data.data() + static_cast<size_t>(Bi) * A.C;
+    const float *BRow = B.Data.data() + static_cast<size_t>(Bi) * B.C;
+    for (int I = 0; I < R; ++I) {
+      float *Row = Data.data() + static_cast<size_t>(I) * C;
+      float Ai = ARow[I] * Scale;
+      for (int J = 0; J < C; ++J)
+        Row[J] += Ai * BRow[J];
+    }
+  }
+}
+
+void Matrix::addColumnSumsTo(std::vector<float> &Y) const {
+  assert(static_cast<int>(Y.size()) == C &&
+         "column-sum dimension mismatch");
+  for (int I = 0; I < R; ++I) {
+    const float *Row = Data.data() + static_cast<size_t>(I) * C;
+    for (int J = 0; J < C; ++J)
+      Y[J] += Row[J];
   }
 }
 

@@ -37,6 +37,15 @@ public:
   int rows() const { return R; }
   int cols() const { return C; }
 
+  /// Reshape to Rows × Cols without preserving contents (scratch-buffer
+  /// semantics: batched kernels size workspace matrices once per batch).
+  /// No allocation when capacity suffices.
+  void resize(int Rows, int Cols) {
+    R = Rows;
+    C = Cols;
+    Data.resize(static_cast<size_t>(Rows) * static_cast<size_t>(Cols));
+  }
+
   float &at(int I, int J) {
     assert(I >= 0 && I < R && J >= 0 && J < C && "matrix index out of range");
     return Data[I * C + J];
@@ -70,6 +79,33 @@ public:
   /// this += Scale · (A ⊗ B) — rank-one update used for weight gradients.
   void addOuter(const std::vector<float> &A, const std::vector<float> &B,
                 float Scale = 1.0f);
+
+  /// Batched matvec (GEMM): row b of \p Y becomes this · (row b of \p X).
+  /// X is B × cols(), Y becomes B × rows(). Register-blocked for
+  /// instruction-level parallelism, but each output element keeps the
+  /// exact matvecInto accumulation order (single accumulator, ascending
+  /// column index), so every row of a batch — any batch size, including
+  /// 1 — is bit-identical to the matvec path (DESIGN.md §5).
+  /// \p X and \p Y must be distinct objects, and neither may be this.
+  void matmulInto(const Matrix &X, Matrix &Y) const;
+  Matrix matmul(const Matrix &X) const;
+
+  /// Batched matvecTransposed: row b of \p Y becomes thisᵀ · (row b of
+  /// \p X). X is B × rows(), Y becomes B × cols(); per-row accumulation
+  /// order matches matvecTransposedInto exactly (ascending row index,
+  /// +0 start). Same aliasing rules as matmulInto.
+  void matmulTransposedInto(const Matrix &X, Matrix &Y) const;
+
+  /// this += Scale-scaled sum of per-example outer products:
+  /// this[i][j] += Σ_b (A[b][i] · Scale) · B[b][j], b ascending per
+  /// element — the exact order a per-example addOuter followed by a
+  /// fixed-order Gradients reduce produces. A is B × rows(),
+  /// B is B × cols().
+  void addOuterBatch(const Matrix &A, const Matrix &B, float Scale = 1.0f);
+
+  /// Y[j] += Σ_i this[i][j] with i ascending per element (batched bias
+  /// gradient: rows are examples). Y.size() must equal cols().
+  void addColumnSumsTo(std::vector<float> &Y) const;
 
 private:
   int R = 0, C = 0;

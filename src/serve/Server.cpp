@@ -3,6 +3,7 @@
 #include "serve/Server.h"
 
 #include "obs/Metrics.h"
+#include "obs/Trace.h"
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -91,6 +92,11 @@ struct Server::Pending {
   long NodeBudget = 0;
   int FrontierSize = 0;
   std::shared_ptr<Connection> Conn;
+  /// Recognition guide precomputed by the batching collector (null when
+  /// batching is off, the domain opted out, or the epoch has no model);
+  /// always produced by Svc's own model, so it is bit-identical to the
+  /// predict() the worker would otherwise run.
+  std::shared_ptr<const ContextualGrammar> Guide;
 };
 
 //===----------------------------------------------------------------------===//
@@ -129,6 +135,19 @@ std::unique_ptr<Server> Server::start(ServiceRegistry &Registry,
   S->Queue = std::make_unique<BoundedQueue<Pending>>(
       static_cast<size_t>(S->Config.QueueCapacity));
 
+  // Micro-batching stage: only materialized when some domain can batch
+  // (server-wide MaxBatch > 1 or a per-domain override) — otherwise the
+  // pipeline is exactly the pre-batching one, workers popping the
+  // admission queue directly.
+  bool BatchingOn = S->Config.MaxBatch > 1;
+  for (const std::string &Name : Registry.domainNames())
+    if (ServiceRegistry::Snapshot Svc = Registry.lookup(Name))
+      if (Svc->config().MaxBatch > 1)
+        BatchingOn = true;
+  if (BatchingOn)
+    S->Dispatch = std::make_unique<BoundedQueue<Pending>>(
+        static_cast<size_t>(S->Config.QueueCapacity));
+
   S->ListenFd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (S->ListenFd < 0)
     return Fail("socket() failed");
@@ -158,6 +177,8 @@ std::unique_ptr<Server> Server::start(ServiceRegistry &Registry,
 
   for (int I = 0; I < S->Config.Workers; ++I)
     S->Workers.emplace_back([Srv = S.get()] { Srv->workerLoop(); });
+  if (S->Dispatch)
+    S->Collector = std::thread([Srv = S.get()] { Srv->collectorLoop(); });
   S->Acceptor = std::thread([Srv = S.get()] { Srv->acceptLoop(); });
   return S;
 }
@@ -203,9 +224,13 @@ void Server::teardown() {
     ListenFd = -1;
   }
 
-  // 2. Drain: the queue is already closed (requestShutdown); workers
-  //    finish every admitted request, answer it, then exit on nullopt.
+  // 2. Drain: the queue is already closed (requestShutdown); the
+  //    collector (when batching) forwards every admitted request and
+  //    closes the dispatch queue on exit; workers finish every admitted
+  //    request, answer it, then exit on nullopt.
   Queue->close(); // direct teardown() callers skipped requestShutdown
+  if (Collector.joinable())
+    Collector.join();
   for (std::thread &W : Workers)
     if (W.joinable())
       W.join();
@@ -502,11 +527,114 @@ void Server::bumpEpochCounter(const Service &Svc,
 }
 
 //===----------------------------------------------------------------------===//
+// Micro-batching collector
+//===----------------------------------------------------------------------===//
+
+int Server::effectiveMaxBatch(const Service &Svc) const {
+  int V = Svc.config().MaxBatch;
+  return V >= 0 ? V : Config.MaxBatch;
+}
+
+long Server::effectiveLingerMicros(const Service &Svc) const {
+  long V = Svc.config().BatchLingerMicros;
+  return V >= 0 ? V : Config.BatchLingerMicros;
+}
+
+void Server::collectorLoop() {
+  while (std::optional<Pending> Head = Queue->pop()) {
+    Clock::time_point CollectStart = Clock::now();
+    std::vector<Pending> Batch;
+    // The head request's domain governs this window: its batch cap and
+    // linger budget. A lone request therefore never waits longer than
+    // its own domain's linger, and a MaxBatch-1 domain's requests pass
+    // through with no linger at all.
+    const int HeadMax = effectiveMaxBatch(*Head->Svc);
+    const long LingerUs = effectiveLingerMicros(*Head->Svc);
+    Batch.push_back(std::move(*Head));
+    if (HeadMax > 1 && LingerUs > 0) {
+      obs::ScopedSpan CollectSpan("serve.batch.collect");
+      Clock::time_point Until =
+          CollectStart + std::chrono::microseconds(LingerUs);
+      while (static_cast<int>(Batch.size()) < HeadMax) {
+        std::optional<Pending> Next = Queue->popUntil(Until);
+        if (!Next)
+          break; // linger expired, or closed and drained
+        Batch.push_back(std::move(*Next));
+      }
+    }
+    obs::observe("recog.batch.size",
+                 static_cast<double>(Batch.size()));
+    obs::observe("recog.batch.linger_us",
+                 std::chrono::duration<double, std::micro>(Clock::now() -
+                                                           CollectStart)
+                     .count());
+
+    // Group by the (domain, epoch) snapshot captured at admission —
+    // pointer identity, so two epochs of one domain can never share a
+    // predictBatch — and run one batched prediction per group. Requests
+    // whose domain opted out (effective MaxBatch <= 1), whose epoch has
+    // no model, or whose deadline already expired pass through
+    // unguided.
+    {
+      obs::ScopedSpan PredictSpan("serve.batch.predict");
+      std::vector<const Service *> GroupOrder;
+      std::map<const Service *, std::vector<size_t>> Groups;
+      Clock::time_point Now = Clock::now();
+      for (size_t I = 0; I < Batch.size(); ++I) {
+        const Service *Svc = Batch[I].Svc.get();
+        if (!Svc->recognitionModel() || effectiveMaxBatch(*Svc) <= 1 ||
+            Batch[I].Deadline <= Now)
+          continue;
+        if (Groups.emplace(Svc, std::vector<size_t>()).second)
+          GroupOrder.push_back(Svc);
+        Groups[Svc].push_back(I);
+      }
+      for (const Service *Svc : GroupOrder) {
+        const std::vector<size_t> &Members = Groups[Svc];
+        const size_t Chunk =
+            static_cast<size_t>(std::max(1, effectiveMaxBatch(*Svc)));
+        for (size_t Off = 0; Off < Members.size(); Off += Chunk) {
+          size_t End = std::min(Off + Chunk, Members.size());
+          std::vector<const Task *> Tasks;
+          Tasks.reserve(End - Off);
+          for (size_t K = Off; K < End; ++K)
+            Tasks.push_back(Batch[Members[K]].Task.get());
+          std::vector<ContextualGrammar> Guides =
+              Svc->recognitionModel()->predictBatch(Tasks);
+          for (size_t K = Off; K < End; ++K)
+            Batch[Members[K]].Guide =
+                std::make_shared<const ContextualGrammar>(
+                    std::move(Guides[K - Off]));
+          BatchedPredicts.fetch_add(1, std::memory_order_relaxed);
+          obs::countAdd("serve.batched_predicts." +
+                        Svc->config().DomainName);
+        }
+      }
+    }
+
+    // Hand over in admission order. pushWait blocks on a full dispatch
+    // queue rather than dropping admitted work; the dispatch queue is
+    // only closed after this thread exits, so the push cannot fail
+    // while we are here.
+    obs::ScopedSpan DispatchSpan("serve.batch.dispatch");
+    for (Pending &P : Batch)
+      Dispatch->pushWait(std::move(P));
+    obs::gaugeSet("serve.dispatch_depth",
+                  static_cast<double>(Dispatch->depth()));
+  }
+  // Admission queue closed and drained: flush the pipeline end.
+  Dispatch->close();
+}
+
+//===----------------------------------------------------------------------===//
 // Workers
 //===----------------------------------------------------------------------===//
 
 void Server::workerLoop() {
-  while (std::optional<Pending> P = Queue->pop()) {
+  // With batching on, workers consume the collector's dispatch queue;
+  // otherwise they pop admissions directly (the pre-batching pipeline).
+  BoundedQueue<Pending> &Source = Dispatch ? *Dispatch : *Queue;
+  while (std::optional<Pending> P = Source.pop()) {
     Clock::time_point Dequeued = Clock::now();
     double QueueMs = millisBetween(P->Admitted, Dequeued);
     double RemainingSeconds =
@@ -514,7 +642,7 @@ void Server::workerLoop() {
 
     // Search on the epoch captured at admission, never the current one.
     Outcome O = P->Svc->solve(P->Task, RemainingSeconds, P->NodeBudget,
-                              P->FrontierSize);
+                              P->FrontierSize, P->Guide.get());
     Clock::time_point Done = Clock::now();
     double SolveMs = millisBetween(Dequeued, Done);
 
@@ -591,7 +719,9 @@ ServerStats Server::stats() const {
   S.BadRequest = BadRequests.load(std::memory_order_relaxed);
   S.Reloads = Reloads.load(std::memory_order_relaxed);
   S.FailedReloads = FailedReloads.load(std::memory_order_relaxed);
+  S.BatchedPredicts = BatchedPredicts.load(std::memory_order_relaxed);
   S.QueueDepth = Queue->depth();
+  S.DispatchDepth = Dispatch ? Dispatch->depth() : 0;
   S.Connections = OpenConnections.load(std::memory_order_relaxed);
   return S;
 }
@@ -618,6 +748,10 @@ Json Server::buildStats() const {
         Json::integer(static_cast<long long>(Queue->capacity())));
   R.set("connections", Json::integer(S.Connections));
   R.set("workers", Json::integer(Config.Workers));
+  R.set("max_batch", Json::integer(Config.MaxBatch));
+  R.set("batched_predicts", Json::integer(S.BatchedPredicts));
+  R.set("dispatch_depth",
+        Json::integer(static_cast<long long>(S.DispatchDepth)));
   R.set("shutting_down", Json::boolean(shuttingDown()));
 
   // Per-domain: current epoch plus the outcome history of every epoch

@@ -132,7 +132,8 @@ TaskPtr Service::taskByName(const std::string &Name) const {
 }
 
 Outcome Service::solve(const TaskPtr &T, double RemainingSeconds,
-                       long NodeBudget, int FrontierSize) const {
+                       long NodeBudget, int FrontierSize,
+                       const ContextualGrammar *Guide) const {
   Outcome Out;
   if (RemainingSeconds <= 0) {
     // The request spent its whole deadline queued; don't start a search
@@ -156,8 +157,15 @@ Outcome Service::solve(const TaskPtr &T, double RemainingSeconds,
 
   EnumerationStats Stats;
   if (Model) {
-    ContextualGrammar CG = Model->predict(*T); // thread-safe by contract
-    Out.Beam = solveTask(CG, T, Params, &Stats);
+    if (Guide) {
+      // Precomputed by the batching collector from this same model —
+      // bit-identical to the predict() below, so batching cannot
+      // change any answer.
+      Out.Beam = solveTask(*Guide, T, Params, &Stats);
+    } else {
+      ContextualGrammar CG = Model->predict(*T); // thread-safe by contract
+      Out.Beam = solveTask(CG, T, Params, &Stats);
+    }
   } else {
     Out.Beam = solveTask(Lib, T, Params, &Stats);
   }

@@ -62,6 +62,11 @@ struct ServiceConfig {
   long DefaultNodeBudget = 0;  ///< 0 = the domain's tuned budget
   long MaxNodeBudget = 5000000; ///< cap on client-requested budgets
   int DefaultFrontierSize = 5;
+  /// Per-domain micro-batching overrides (DESIGN.md §9): -1 inherits
+  /// the server-wide ServerConfig value. MaxBatch 1 disables batching
+  /// for this domain (its requests dispatch immediately, no linger).
+  int MaxBatch = -1;
+  long BatchLingerMicros = -1;
 };
 
 /// One solve() answer.
@@ -95,8 +100,15 @@ public:
   /// already passed and an immediate Timeout is returned without
   /// searching. \p NodeBudget 0 uses the default; values are clamped to
   /// MaxNodeBudget. \p FrontierSize 0 uses the default.
+  ///
+  /// \p Guide, when non-null, is a recognition-model prediction for
+  /// \p T computed ahead of time (the micro-batching collector's
+  /// predictBatch output, always from *this* service's model, so it is
+  /// bit-identical to the predict() this call would otherwise run);
+  /// ignored when the service has no model.
   Outcome solve(const TaskPtr &T, double RemainingSeconds, long NodeBudget,
-                int FrontierSize) const;
+                int FrontierSize,
+                const ContextualGrammar *Guide = nullptr) const;
 
   /// Corpus lookup by task name (O(1) via the index built at create();
   /// create() fails on duplicate names, so lookups are unambiguous);
@@ -106,6 +118,9 @@ public:
   const DomainSpec &domain() const { return *Domain; }
   const Grammar &grammar() const { return Lib; }
   bool hasRecognitionModel() const { return Model != nullptr; }
+  /// The loaded model (nullptr when none): the micro-batching collector
+  /// calls predictBatch on it directly. Thread-safe for predictions.
+  const RecognitionModel *recognitionModel() const { return Model.get(); }
   const ServiceConfig &config() const { return Config; }
 
   /// This service's generation within its registry: 1 for the initial

@@ -52,6 +52,92 @@ TEST(Matrix, AddOuter) {
   EXPECT_FLOAT_EQ(M.at(1, 1), 4.0);
 }
 
+TEST(Matrix, MatmulMatchesMatvecBitwise) {
+  // The GEMM determinism contract (DESIGN.md §5): every output row of
+  // matmulInto is bit-for-bit the matvec of the corresponding input
+  // row — same per-element accumulation order, so batch size never
+  // changes a result. Exercise odd shapes that straddle tile edges.
+  std::mt19937 Rng(21);
+  for (auto [R, C, B] : {std::tuple{5, 7, 3}, {8, 4, 9}, {3, 3, 1},
+                         {16, 13, 6}, {1, 9, 5}}) {
+    Matrix W = Matrix::glorot(R, C, Rng);
+    Matrix X(B, C);
+    std::uniform_real_distribution<float> U(-2, 2);
+    for (size_t I = 0; I < X.size(); ++I)
+      X.data()[I] = U(Rng);
+    Matrix Y = W.matmul(X);
+    ASSERT_EQ(Y.rows(), B);
+    ASSERT_EQ(Y.cols(), R);
+    for (int Bi = 0; Bi < B; ++Bi) {
+      std::vector<float> Row(X.data() + static_cast<size_t>(Bi) * C,
+                             X.data() + static_cast<size_t>(Bi + 1) * C);
+      std::vector<float> Ref = W.matvec(Row);
+      for (int I = 0; I < R; ++I)
+        EXPECT_EQ(Y.at(Bi, I), Ref[I])
+            << R << "x" << C << " batch " << B << " row " << Bi;
+    }
+  }
+}
+
+TEST(Matrix, MatmulTransposedMatchesMatvecTransposedBitwise) {
+  std::mt19937 Rng(22);
+  for (auto [R, C, B] : {std::tuple{5, 7, 3}, {8, 4, 9}, {16, 13, 1}}) {
+    Matrix W = Matrix::glorot(R, C, Rng);
+    Matrix X(B, R);
+    std::uniform_real_distribution<float> U(-2, 2);
+    for (size_t I = 0; I < X.size(); ++I)
+      X.data()[I] = U(Rng);
+    Matrix Y;
+    W.matmulTransposedInto(X, Y);
+    ASSERT_EQ(Y.rows(), B);
+    ASSERT_EQ(Y.cols(), C);
+    for (int Bi = 0; Bi < B; ++Bi) {
+      std::vector<float> Row(X.data() + static_cast<size_t>(Bi) * R,
+                             X.data() + static_cast<size_t>(Bi + 1) * R);
+      std::vector<float> Ref = W.matvecTransposed(Row);
+      for (int J = 0; J < C; ++J)
+        EXPECT_EQ(Y.at(Bi, J), Ref[J]) << "row " << Bi << " col " << J;
+    }
+  }
+}
+
+TEST(Matrix, AddOuterBatchMatchesSequentialAddOuter) {
+  // Batched gradient accumulation must be the same += sequence as one
+  // addOuter per example in batch order — bit-identical, not just close.
+  std::mt19937 Rng(23);
+  std::uniform_real_distribution<float> U(-1, 1);
+  const int R = 6, C = 5, B = 4;
+  Matrix A(B, R), X(B, C);
+  for (size_t I = 0; I < A.size(); ++I)
+    A.data()[I] = U(Rng);
+  for (size_t I = 0; I < X.size(); ++I)
+    X.data()[I] = U(Rng);
+  Matrix Batched(R, C), Sequential(R, C);
+  Batched.addOuterBatch(A, X, 0.25f);
+  for (int Bi = 0; Bi < B; ++Bi) {
+    std::vector<float> ARow(A.data() + static_cast<size_t>(Bi) * R,
+                            A.data() + static_cast<size_t>(Bi + 1) * R);
+    std::vector<float> XRow(X.data() + static_cast<size_t>(Bi) * C,
+                            X.data() + static_cast<size_t>(Bi + 1) * C);
+    Sequential.addOuter(ARow, XRow, 0.25f);
+  }
+  for (size_t I = 0; I < Batched.size(); ++I)
+    EXPECT_EQ(Batched.data()[I], Sequential.data()[I]) << "element " << I;
+}
+
+TEST(Matrix, AddColumnSumsAccumulateInRowOrder) {
+  Matrix M(3, 2);
+  M.at(0, 0) = 1.0f;
+  M.at(1, 0) = 2.0f;
+  M.at(2, 0) = 4.0f;
+  M.at(0, 1) = -1.0f;
+  M.at(2, 1) = 0.5f;
+  std::vector<float> Y = {10.0f, 20.0f}; // accumulates, never clears
+  M.addColumnSumsTo(Y);
+  EXPECT_EQ(Y[0], ((10.0f + 1.0f) + 2.0f) + 4.0f);
+  EXPECT_EQ(Y[1], ((20.0f + -1.0f) + 0.0f) + 0.5f);
+}
+
 TEST(Matrix, GlorotInitializationBounded) {
   std::mt19937 Rng(1);
   Matrix M = Matrix::glorot(16, 16, Rng);
@@ -168,6 +254,145 @@ TEST(Mlp, ForwardIsConstAndRepeatable) {
     EXPECT_FLOAT_EQ(First[I], Second[I]);
     EXPECT_FLOAT_EQ(First[I], Third[I]);
   }
+}
+
+TEST(Mlp, ForwardBatchMatchesForwardBitwise) {
+  // Each row of a batched forward must be bit-identical to the serial
+  // forward of that row — the property the recognition predictBatch and
+  // trainOnPairs determinism contracts are built on.
+  std::mt19937 Rng(31);
+  const Mlp Net(5, 12, 4, Rng);
+  std::uniform_real_distribution<float> U(-1, 1);
+  std::vector<std::vector<float>> X;
+  for (int B = 0; B < 7; ++B) {
+    std::vector<float> Row(5);
+    for (float &V : Row)
+      V = U(Rng);
+    X.push_back(Row);
+  }
+  Workspace BatchWS, SerialWS;
+  const Matrix &Y = Net.forwardBatch(X, BatchWS);
+  ASSERT_EQ(Y.rows(), 7);
+  ASSERT_EQ(Y.cols(), 4);
+  for (int B = 0; B < 7; ++B) {
+    const std::vector<float> &Ref = Net.forward(X[B], SerialWS);
+    for (int I = 0; I < 4; ++I)
+      EXPECT_EQ(Y.at(B, I), Ref[I]) << "row " << B << " logit " << I;
+  }
+  // Batch of one through the same (polluted) workspace: still exact.
+  Workspace WS1;
+  const Matrix &Y1 = Net.forwardBatch({X[3]}, WS1);
+  const std::vector<float> &Ref = Net.forward(X[3], SerialWS);
+  for (int I = 0; I < 4; ++I)
+    EXPECT_EQ(Y1.at(0, I), Ref[I]);
+}
+
+TEST(Mlp, BackwardBatchMatchesPerExampleBitwise) {
+  // backwardBatch must reproduce the old path exactly: one backward per
+  // example into a fresh Gradients, then a fixed-order reduce. The GEMM
+  // kernels accumulate in that same per-element order, so the batched
+  // gradient is bit-identical, not merely close.
+  std::mt19937 Rng(37);
+  const Mlp Net(4, 10, 3, Rng);
+  std::uniform_real_distribution<float> U(-1, 1);
+  const int B = 5;
+  std::vector<std::vector<float>> X;
+  Matrix DLogits(B, 3);
+  for (int Bi = 0; Bi < B; ++Bi) {
+    std::vector<float> Row(4);
+    for (float &V : Row)
+      V = U(Rng);
+    X.push_back(Row);
+    for (int I = 0; I < 3; ++I)
+      DLogits.at(Bi, I) = U(Rng);
+  }
+  // Zero one example's upstream gradient entirely: out-of-support
+  // examples in trainOnPairs feed exactly this shape, and they must not
+  // perturb the batch bitwise.
+  for (int I = 0; I < 3; ++I)
+    DLogits.at(2, I) = 0.0f;
+
+  Workspace BatchWS;
+  Net.forwardBatch(X, BatchWS);
+  Gradients Batched(Net);
+  Net.backwardBatch(DLogits, BatchWS, Batched);
+
+  Gradients Reduced(Net);
+  Workspace SerialWS;
+  for (int Bi = 0; Bi < B; ++Bi) {
+    Net.forward(X[Bi], SerialWS);
+    Gradients One(Net);
+    std::vector<float> DY(3);
+    for (int I = 0; I < 3; ++I)
+      DY[I] = DLogits.at(Bi, I);
+    Net.backward(DY, SerialWS, One);
+    Reduced.add(One);
+  }
+
+  auto BS = Batched.segments();
+  auto RS = Reduced.segments();
+  ASSERT_EQ(BS.size(), RS.size());
+  for (size_t S = 0; S < BS.size(); ++S) {
+    ASSERT_EQ(BS[S].Size, RS[S].Size);
+    for (size_t I = 0; I < BS[S].Size; ++I)
+      EXPECT_EQ(BS[S].Grad[I], RS[S].Grad[I])
+          << "segment " << S << " param " << I;
+  }
+}
+
+TEST(Mlp, BatchedBackwardMatchesFiniteDifference) {
+  // Independent check that the batched backward computes a correct
+  // gradient at all (not merely the same one as backward()): central
+  // differences on the summed-logits loss over a 3-example batch.
+  std::mt19937 Rng(41);
+  Mlp Net(3, 6, 2, Rng);
+  std::vector<std::vector<float>> X = {
+      {0.2f, -0.7f, 1.1f}, {-0.4f, 0.9f, 0.3f}, {1.5f, 0.1f, -0.8f}};
+  Workspace WS;
+  auto Loss = [&] {
+    const Matrix &Y = Net.forwardBatch(X, WS);
+    float S = 0;
+    for (size_t I = 0; I < Y.size(); ++I)
+      S += Y.data()[I];
+    return S;
+  };
+  Net.forwardBatch(X, WS);
+  Matrix DLogits(3, 2);
+  DLogits.fill(1.0f);
+  Gradients G(Net);
+  Net.backwardBatch(DLogits, WS, G);
+
+  const float H = 1e-3f;
+  auto Check = [&](float &Param, float Analytic) {
+    float P0 = Param;
+    Param = P0 + H;
+    float Up = Loss();
+    Param = P0 - H;
+    float Down = Loss();
+    Param = P0;
+    EXPECT_NEAR(Analytic, (Up - Down) / (2 * H), 5e-2);
+  };
+  Check(Net.L1.W.at(1, 2), G.DW1.at(1, 2));
+  Check(Net.L2.W.at(3, 4), G.DW2.at(3, 4));
+  Check(Net.L3.W.at(1, 5), G.DW3.at(1, 5));
+  Check(Net.L2.B[2], G.DB2[2]);
+}
+
+TEST(MatrixDeathTest, DimensionMismatchAsserts) {
+  // Asserts stay on in every build type here (the top-level CMake strips
+  // -DNDEBUG), so shape bugs die loudly everywhere, not just in Debug.
+  // Shape bugs must die loudly in debug builds: the Into kernels hoist
+  // their input-width checks to one assert per call.
+  Matrix W(2, 3);
+  std::vector<float> Wrong = {1.0f, 2.0f}; // needs 3
+  std::vector<float> Y;
+  EXPECT_DEATH(W.matvecInto(Wrong, Y), "matvec dimension mismatch");
+  Matrix X(4, 2); // needs 4 × 3
+  Matrix Out;
+  EXPECT_DEATH(W.matmulInto(X, Out), "matmul dimension mismatch");
+  Matrix XT(4, 3); // transposed path needs 4 × 2
+  EXPECT_DEATH(W.matmulTransposedInto(XT, Out),
+               "matmulTransposed dimension mismatch");
 }
 
 TEST(Gradients, AccumulateAndReduce) {

@@ -302,6 +302,57 @@ TEST(ServeQueueTest, ConcurrentProducersAndConsumers) {
   EXPECT_EQ(Sum.load(), N * (N - 1) / 2);
 }
 
+TEST(ServeQueueTest, PopUntilTimesOutAndDrains) {
+  // popUntil is the collector's linger primitive: it must return an
+  // item promptly when one exists, nullopt once the deadline passes on
+  // an empty queue, and keep draining items after close.
+  BoundedQueue<int> Q(4);
+  auto Soon = [] {
+    return std::chrono::steady_clock::now() +
+           std::chrono::milliseconds(20);
+  };
+  EXPECT_FALSE(Q.popUntil(Soon()).has_value()) << "empty queue times out";
+  ASSERT_EQ(Q.tryPush(7), PushResult::Ok);
+  EXPECT_EQ(*Q.popUntil(Soon()), 7);
+
+  // An item arriving mid-wait wakes the waiter before the deadline.
+  std::thread Producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_EQ(Q.tryPush(8), PushResult::Ok);
+  });
+  std::optional<int> Got = Q.popUntil(std::chrono::steady_clock::now() +
+                                      std::chrono::seconds(10));
+  Producer.join();
+  ASSERT_TRUE(Got.has_value());
+  EXPECT_EQ(*Got, 8);
+
+  ASSERT_EQ(Q.tryPush(9), PushResult::Ok);
+  Q.close();
+  EXPECT_EQ(*Q.popUntil(Soon()), 9) << "closed queues still drain";
+  EXPECT_FALSE(Q.popUntil(Soon()).has_value()) << "closed and drained";
+}
+
+TEST(ServeQueueTest, PushWaitBlocksInsteadOfDropping) {
+  // pushWait is the collector's handover primitive: admitted work must
+  // never be dropped, so a full dispatch queue blocks the collector
+  // until a worker pops — and only a close() makes it return false.
+  BoundedQueue<int> Q(1);
+  EXPECT_TRUE(Q.pushWait(1));
+  std::atomic<bool> Second{false};
+  std::thread Blocked([&] {
+    EXPECT_TRUE(Q.pushWait(2)); // full: parks until the pop below
+    Second.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(Second.load()) << "pushWait must block while full";
+  EXPECT_EQ(*Q.pop(), 1);
+  Blocked.join();
+  EXPECT_TRUE(Second.load());
+  EXPECT_EQ(*Q.pop(), 2);
+  Q.close();
+  EXPECT_FALSE(Q.pushWait(3)) << "closed queue admits nothing";
+}
+
 //===----------------------------------------------------------------------===//
 // Service
 //===----------------------------------------------------------------------===//
@@ -334,6 +385,33 @@ std::unique_ptr<Service> makeListService() {
   ServiceConfig C;
   C.DomainName = "list";
   C.DefaultNodeBudget = 50000;
+  std::string Err;
+  std::unique_ptr<Service> S = Service::create(C, &Err);
+  EXPECT_TRUE(S) << Err;
+  return S;
+}
+
+/// Saves a fresh recognition model matched to the list domain's uniform
+/// base grammar (deterministic seeded-glorot weights; training is not
+/// needed for identity tests — only that every server loading this file
+/// predicts identically).
+std::string writeListModel(const std::string &FileName) {
+  DomainSpec D = makeListDomain(1);
+  Grammar G = Grammar::uniform(D.BasePrimitives);
+  RecognitionParams RP;
+  RP.HiddenDim = 16;
+  RecognitionModel Model(G, *D.Featurizer, RP);
+  std::string Path = testing::TempDir() + "/" + FileName;
+  std::ofstream Out(Path);
+  saveRecognitionModel(Model, Out);
+  return Path;
+}
+
+std::unique_ptr<Service> makeListModelService(const std::string &ModelPath) {
+  ServiceConfig C;
+  C.DomainName = "list";
+  C.DefaultNodeBudget = 50000;
+  C.ModelPath = ModelPath;
   std::string Err;
   std::unique_ptr<Service> S = Service::create(C, &Err);
   EXPECT_TRUE(S) << Err;
@@ -501,6 +579,29 @@ TEST(ServeServiceTest, ConcurrentSolvesAreDeterministic) {
   for (int I = 1; I < N; ++I)
     EXPECT_EQ(Sigs[I], Sigs[0]) << "thread " << I;
   EXPECT_NE(Sigs[0], "unsolved");
+}
+
+TEST(ServeServiceTest, GuidedSolveIsBitIdenticalToUnguided) {
+  // The contract the micro-batching collector rests on: handing solve()
+  // a guide precomputed by this service's own predictBatch yields the
+  // exact beam the internal predict() path produces.
+  std::string ModelPath = writeListModel("guided_solve.model");
+  std::unique_ptr<Service> S = makeListModelService(ModelPath);
+  ASSERT_TRUE(S);
+  ASSERT_TRUE(S->hasRecognitionModel());
+
+  TaskPtr T = identityTask();
+  std::vector<const Task *> Tasks = {T.get()};
+  std::vector<ContextualGrammar> Guides =
+      S->recognitionModel()->predictBatch(Tasks);
+  ASSERT_EQ(Guides.size(), 1u);
+
+  Outcome Unguided = S->solve(T, 60.0, 0, 0);
+  Outcome Guided = S->solve(T, 60.0, 0, 0, &Guides[0]);
+  ASSERT_EQ(Unguided.TheStatus, Outcome::Status::Solved);
+  ASSERT_EQ(Guided.TheStatus, Outcome::Status::Solved);
+  EXPECT_EQ(beamSignature(Guided.Beam), beamSignature(Unguided.Beam));
+  EXPECT_EQ(Guided.NodesExpanded, Unguided.NodesExpanded);
 }
 
 //===----------------------------------------------------------------------===//
@@ -710,6 +811,17 @@ std::string identityRequest(const char *Id, const char *Domain = nullptr) {
        R"json({"inputs":[[4]],"output":[4]}],)json"
        R"json("timeout_ms":60000,"node_budget":50000}})json";
   return R;
+}
+
+/// A head-of-list solve with an explicit id: a second, distinct solvable
+/// task so a batched predict whose rows were swapped or misaligned would
+/// produce detectably different answers.
+std::string carRequest(const char *Id) {
+  return std::string(R"({"id":")") + Id +
+         R"(","method":"solve","params":{"request":"list(int) -> int",)" +
+         R"("examples":[{"inputs":[[1,2]],"output":1},)" +
+         R"({"inputs":[[7,8]],"output":7}],)" +
+         R"("timeout_ms":60000,"node_budget":50000}})";
 }
 
 /// The full scored program list of a solve response — the bit-identity
@@ -1005,4 +1117,147 @@ TEST(ServeServerTest, ReloadFailedLeavesOldEpochServing) {
   ServerStats Final = Srv->stats();
   EXPECT_EQ(Final.Reloads, 0);
   EXPECT_EQ(Final.FailedReloads, 1);
+}
+
+TEST(ServeServerTest, BatchedAnswersMatchUnbatched) {
+  // The micro-batching acceptance bar: the same pipelined request mix
+  // against a batching server and a non-batching server — both loading
+  // the identical recognition model — produces bit-identical answers.
+  // One worker forces the batched server to actually collect (requests
+  // pile up behind the in-flight solve) rather than racing them through
+  // one at a time.
+  std::string ModelPath = writeListModel("batch_e2e.model");
+  const char *Ids[] = {"q0", "q1", "q2", "q3"};
+  auto Request = [&](int I) {
+    return I % 2 == 0 ? identityRequest(Ids[I]) : carRequest(Ids[I]);
+  };
+
+  auto RunServer = [&](bool Batched) {
+    ServiceRegistry Reg;
+    std::map<std::string, std::string> Sigs;
+    EXPECT_TRUE(Reg.install(makeListModelService(ModelPath)));
+    ServerConfig SC;
+    SC.Workers = 1;
+    if (Batched) {
+      SC.MaxBatch = 4;
+      SC.BatchLingerMicros = 200000; // generous: all 4 must collect
+    }
+    std::string Err;
+    std::unique_ptr<Server> Srv = Server::start(Reg, SC, &Err);
+    EXPECT_TRUE(Srv) << Err;
+    if (!Srv)
+      return Sigs;
+
+    TestClient C(Srv->port());
+    EXPECT_TRUE(C.connected());
+    for (int I = 0; I < 4; ++I)
+      C.sendLine(Request(I));
+    for (int I = 0; I < 4; ++I) {
+      Json Resp = C.recvLine();
+      if (!Resp.find("ok") || !Resp.find("ok")->asBool()) {
+        ADD_FAILURE() << "solve failed: " << Resp.dump();
+        continue;
+      }
+      Sigs[Resp.find("id")->asString()] = programsSignature(Resp);
+    }
+    if (Batched) {
+      Json Stats = C.roundTrip(R"({"id":"s","method":"stats"})");
+      const Json *SR = Stats.find("result");
+      EXPECT_EQ(SR->find("max_batch")->asInteger(), 4);
+      EXPECT_GE(SR->find("batched_predicts")->asInteger(), 1)
+          << "the collector never ran a batched prediction";
+    }
+    Srv->requestShutdown();
+    Srv->waitForShutdown();
+    if (Batched) {
+      EXPECT_GE(Srv->stats().BatchedPredicts, 1);
+    }
+    return Sigs;
+  };
+
+  std::map<std::string, std::string> Unbatched = RunServer(false);
+  std::map<std::string, std::string> Batched = RunServer(true);
+  ASSERT_EQ(Unbatched.size(), 4u);
+  ASSERT_EQ(Batched.size(), 4u);
+  for (const char *Id : Ids) {
+    ASSERT_TRUE(Unbatched.count(Id)) << Id;
+    ASSERT_TRUE(Batched.count(Id)) << Id;
+    EXPECT_EQ(Batched.at(Id), Unbatched.at(Id))
+        << "batching changed the answer for " << Id;
+  }
+  EXPECT_NE(Unbatched.at("q0"), Unbatched.at("q1"))
+      << "the two request kinds must have distinguishable answers";
+}
+
+TEST(ServeServerTest, BatchedHotReloadNeverMixesEpochs) {
+  // Epoch purity under batching: requests admitted before a reload keep
+  // their epoch-1 snapshot (and its model) even when they sit in the
+  // collector/dispatch pipeline while epoch 2 publishes; requests
+  // admitted after route to epoch 2. Grouping is by snapshot pointer,
+  // so a predictBatch can never span the reload boundary.
+  std::string ModelPath = writeListModel("batch_reload.model");
+  ServiceRegistry Reg;
+  ASSERT_TRUE(Reg.install(makeListModelService(ModelPath)));
+  ServerConfig SC;
+  SC.Workers = 1;
+  SC.QueueCapacity = 8;
+  SC.MaxBatch = 4;
+  SC.BatchLingerMicros = 100000;
+  std::string Err;
+  std::unique_ptr<Server> Srv = Server::start(Reg, SC, &Err);
+  ASSERT_TRUE(Srv) << Err;
+
+  TestClient C(Srv->port()), Slow(Srv->port()), Probe(Srv->port());
+  ASSERT_TRUE(C.connected() && Slow.connected() && Probe.connected());
+  auto waitForAccepted = [&](long Accepted) {
+    for (int I = 0; I < 400; ++I) {
+      Json S = Probe.roundTrip(R"({"id":"p","method":"stats"})");
+      if (S.find("result")->find("accepted")->asInteger() == Accepted)
+        return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    return false;
+  };
+
+  Json Baseline = C.roundTrip(identityRequest("base"));
+  ASSERT_TRUE(Baseline.find("ok")->asBool()) << Baseline.dump();
+  EXPECT_EQ(Baseline.find("result")->find("epoch")->asInteger(), 1);
+  std::string SigA = programsSignature(Baseline);
+
+  // Occupy the single worker, then pipeline "pre" behind it: both are
+  // admitted — and snapshot their epoch — before the reload below.
+  Slow.sendLine(slowRequest("slow", 2000));
+  ASSERT_TRUE(waitForAccepted(2)) << "slow never admitted";
+  C.sendLine(identityRequest("pre"));
+  ASSERT_TRUE(waitForAccepted(3)) << "pre never admitted";
+
+  Json ReloadResp =
+      Probe.roundTrip(R"({"id":"rl","method":"reload"})");
+  ASSERT_TRUE(ReloadResp.find("ok")->asBool()) << ReloadResp.dump();
+  EXPECT_EQ(ReloadResp.find("result")->find("epoch")->asInteger(), 2);
+
+  C.sendLine(identityRequest("post"));
+
+  Json SlowResp = Slow.recvLine();
+  EXPECT_EQ(SlowResp.find("error")->find("code")->asString(), "timeout");
+  Json Pre = C.recvLine();
+  EXPECT_EQ(Pre.find("id")->asString(), "pre");
+  ASSERT_TRUE(Pre.find("ok")->asBool()) << Pre.dump();
+  EXPECT_EQ(Pre.find("result")->find("epoch")->asInteger(), 1)
+      << "work admitted before the reload must answer on its epoch";
+  EXPECT_EQ(programsSignature(Pre), SigA);
+  Json Post = C.recvLine();
+  EXPECT_EQ(Post.find("id")->asString(), "post");
+  ASSERT_TRUE(Post.find("ok")->asBool()) << Post.dump();
+  EXPECT_EQ(Post.find("result")->find("epoch")->asInteger(), 2);
+  EXPECT_EQ(programsSignature(Post), SigA)
+      << "same checkpoint and model reloaded: epoch 2 answers match";
+
+  Srv->requestShutdown();
+  Srv->waitForShutdown();
+  auto ES = Srv->epochStats();
+  EXPECT_EQ((ES[{"list", 1ul}].Solved), 2);  // base + pre
+  EXPECT_EQ((ES[{"list", 1ul}].Timeout), 1); // slow
+  EXPECT_EQ((ES[{"list", 2ul}].Solved), 1);  // post
+  EXPECT_GE(Srv->stats().BatchedPredicts, 1);
 }

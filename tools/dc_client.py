@@ -6,7 +6,11 @@ Subcommands:
     stats             print the server's operational counters
     solve             send one solve request (--task NAME, or --request/
                       --examples-json for an inline task; --domain routes
-                      to a named domain on a multi-domain server)
+                      to a named domain on a multi-domain server).
+                      --batch N additionally pipelines N copies of the
+                      request on one connection — letting a server with
+                      --max-batch > 1 micro-batch them — and asserts all
+                      N answers arrive and match the sequential answer
     reload            hot-swap one domain's checkpoint/model: the server
                       loads and validates off the serving path, then
                       atomically publishes a new library epoch
@@ -14,9 +18,11 @@ Subcommands:
                       scenario: concurrent deterministic solves, a
                       past-deadline request answered with a structured
                       timeout, queue-full admission rejection, graceful
-                      SIGTERM shutdown mid-load with exit code 0, and
-                      (with --checkpoint-b) a SIGHUP hot reload where
-                      answers change only after the new epoch publishes.
+                      SIGTERM shutdown mid-load with exit code 0,
+                      micro-batched pipelined solves answering
+                      bit-identically to sequential ones, and (with
+                      --checkpoint-b) a SIGHUP hot reload where answers
+                      change only after the new epoch publishes.
 
 The smoke subcommand is what CI runs; it needs --server pointing at the
 dc_serve binary and exits nonzero on the first failed check.
@@ -368,7 +374,77 @@ def smoke(args):
             except OSError:
                 pass
 
-    # --- Scenario 3: SIGHUP hot reload under an open connection ----------
+    # --- Scenario 3: micro-batching linger changes no answer -------------
+    # One worker with --max-batch 4: pipelined requests pile up behind
+    # the in-flight solve, so the collector actually gathers them inside
+    # its linger window before dispatching. Batched answers must be
+    # bit-identical to sequential ones, and a lone request must still be
+    # answered promptly (the linger bounds its extra latency).
+    # The batching flags are position-dependent (before --domain = the
+    # server-wide default); here every domain should batch.
+    srv = ServerProcess(
+        args.server,
+        ["--max-batch", "4", "--batch-linger-us", "50000"]
+        + common
+        + ["--workers", "1", "--queue", "8"],
+    )
+    try:
+        c = srv.connect()
+        params = solve_params(IDENTITY, timeout_ms=60000, node_budget=50000)
+
+        seq = c.request("solve", params)
+        check(
+            seq.get("ok") and seq["result"]["status"] == "solved",
+            "lone request solved despite the linger window",
+        )
+        sig_seq = json.dumps(seq["result"]["programs"])
+
+        n = 4
+        for i in range(n):
+            c.send("solve", params, req_id="batch-%d" % i)
+        resps = {}
+        for _ in range(n):
+            r = c.recv_line()
+            resps[r.get("id")] = r
+        check(
+            sorted(resps) == ["batch-%d" % i for i in range(n)],
+            "all %d pipelined answers arrived (ids match)" % n,
+        )
+        check(
+            all(r.get("ok") for r in resps.values()),
+            "every pipelined solve succeeded",
+        )
+        check(
+            all(
+                json.dumps(r["result"]["programs"]) == sig_seq
+                for r in resps.values()
+            ),
+            "batched answers are bit-identical to the sequential answer",
+        )
+
+        stats = c.request("stats")["result"]
+        check(
+            stats.get("max_batch") == 4,
+            "stats reports the configured max_batch",
+        )
+        if args.model:
+            check(
+                stats.get("batched_predicts", 0) >= 1,
+                "collector ran at least one batched prediction",
+            )
+        c.close()
+
+        srv.sigterm()
+        rc, out = srv.wait()
+        check(rc == 0, "scenario-3 server exits 0 with batching on")
+        check(
+            "micro-batching on" in out,
+            "startup banner announces micro-batching",
+        )
+    finally:
+        srv.kill()
+
+    # --- Scenario 4: SIGHUP hot reload under an open connection ----------
     # Serve checkpoint A from a "live" path, overwrite that path with
     # checkpoint B's bytes, and prove answers change only after the
     # reload publishes the new epoch — never from the file edit alone,
@@ -443,7 +519,7 @@ def smoke(args):
 
             srv.sigterm()
             rc, out = srv.wait()
-            check(rc == 0, "scenario-3 server exits 0 after hot reload")
+            check(rc == 0, "scenario-4 server exits 0 after hot reload")
             check("1 reloads" in out, "final stats line counts the reload")
         finally:
             srv.kill()
@@ -493,6 +569,13 @@ def main():
     p.add_argument("--node-budget", type=int)
     p.add_argument(
         "--domain", help="route to this domain on a multi-domain server"
+    )
+    p.add_argument(
+        "--batch",
+        type=int,
+        help="after the sequential solve, pipeline N copies of the same "
+        "request on one connection and assert all N answers arrive and "
+        "match it (exercises server-side micro-batching)",
     )
 
     p = sub.add_parser("reload")
@@ -566,10 +649,42 @@ def main():
             if args.domain:
                 params["domain"] = args.domain
             resp = client.request("solve", params)
+            if resp.get("ok") and args.batch and args.batch > 1:
+                resp = batch_solve(client, params, resp, args.batch)
     finally:
         client.close()
     print(json.dumps(resp, indent=2))
     return 0 if resp.get("ok") else 1
+
+
+def batch_solve(client, params, sequential, n):
+    """Pipelines n copies of the solved request on the open connection and
+    verifies every answer arrives and matches the sequential one; returns
+    the sequential response annotated with the batch verdict."""
+    ids = ["batch-%d" % i for i in range(n)]
+    for req_id in ids:
+        client.send("solve", params, req_id=req_id)
+    resps = {}
+    for _ in range(n):
+        r = client.recv_line()
+        resps[r.get("id")] = r
+    sig = json.dumps(sequential["result"]["programs"])
+    missing = [i for i in ids if i not in resps]
+    if missing:
+        raise AssertionError("no answer for pipelined ids: %r" % missing)
+    mismatched = [
+        i
+        for i in ids
+        if not resps[i].get("ok")
+        or json.dumps(resps[i]["result"]["programs"]) != sig
+    ]
+    if mismatched:
+        raise AssertionError(
+            "pipelined answers diverge from the sequential one: %r"
+            % mismatched
+        )
+    sequential["batch"] = {"pipelined": n, "all_matched": True}
+    return sequential
 
 
 if __name__ == "__main__":

@@ -49,6 +49,7 @@ void usage(const char *Argv0) {
       "                         [--max-node-budget N]]...\n"
       "          [--port N] [--port-file PATH]\n"
       "          [--workers N] [--queue N] [--default-timeout-ms N]\n"
+      "          [--max-batch N] [--batch-linger-us N]\n"
       "          [--metrics-out PATH] [--trace-out PATH] [--verbose]\n"
       "--domain:     may repeat to serve several domains from one\n"
       "              process; requests route by their \"domain\" field,\n"
@@ -67,6 +68,14 @@ void usage(const char *Argv0) {
       "              with the structured 'overloaded' error (default 16)\n"
       "--default-timeout-ms: per-request deadline when the request sets\n"
       "              none (default 5000)\n"
+      "--max-batch:  micro-batch recognition predictions across up to N\n"
+      "              queued solve requests (default 1 = off). Position-\n"
+      "              dependent: before the first --domain it sets the\n"
+      "              server-wide default, after a --domain it overrides\n"
+      "              that domain only\n"
+      "--batch-linger-us: how long the collector waits for batch-mates\n"
+      "              (default 2000); position-dependent like --max-batch.\n"
+      "              A lone request is never delayed beyond this window\n"
       "signals: SIGHUP reloads every domain's checkpoint+model from disk\n"
       "         and atomically publishes the new library epoch (nothing\n"
       "         in flight is dropped); SIGTERM/SIGINT drain and exit 0\n"
@@ -146,6 +155,22 @@ int main(int Argc, char **Argv) {
       SrvConfig.QueueCapacity = std::atoi(Next());
     else if (!std::strcmp(Argv[I], "--default-timeout-ms"))
       SrvConfig.DefaultTimeoutMs = std::atol(Next());
+    else if (!std::strcmp(Argv[I], "--max-batch")) {
+      // Before any --domain: the server-wide default. After one: that
+      // domain's override (unlike other per-domain flags, this one does
+      // not implicitly open the default domain).
+      int V = std::atoi(Next());
+      if (Domains.empty())
+        SrvConfig.MaxBatch = V;
+      else
+        Domains.back().MaxBatch = V;
+    } else if (!std::strcmp(Argv[I], "--batch-linger-us")) {
+      long V = std::atol(Next());
+      if (Domains.empty())
+        SrvConfig.BatchLingerMicros = V;
+      else
+        Domains.back().BatchLingerMicros = V;
+    }
     else if (!std::strcmp(Argv[I], "--metrics-out"))
       MetricsPath = Next();
     else if (!std::strcmp(Argv[I], "--trace-out"))
@@ -226,10 +251,11 @@ int main(int Argc, char **Argv) {
   });
 
   std::printf("dc_serve listening on %s:%d (%d workers, queue %d, "
-              "%zu domain%s)\n",
+              "%zu domain%s%s)\n",
               SrvConfig.BindAddress.c_str(), Srv->port(), SrvConfig.Workers,
               SrvConfig.QueueCapacity, Registry.size(),
-              Registry.size() == 1 ? "" : "s");
+              Registry.size() == 1 ? "" : "s",
+              SrvConfig.MaxBatch > 1 ? ", micro-batching on" : "");
   std::fflush(stdout);
   if (!PortFile.empty()) {
     std::ofstream Out(PortFile);

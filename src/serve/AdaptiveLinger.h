@@ -1,0 +1,90 @@
+//===- serve/AdaptiveLinger.h - Arrival-rate-sized batch linger -----------===//
+//
+// Part of the DreamCoder C++ reproduction.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sizes the collector's batch-formation wait from the observed request
+/// arrival rate instead of always spending the fixed --batch-linger-us
+/// cap (DESIGN.md §9). The controller keeps an exponentially weighted
+/// moving average of inter-arrival gaps (admission timestamps, so
+/// collector scheduling jitter does not pollute the signal) and answers
+/// one question per window: how long is it worth waiting for batch-mates?
+///
+///  * dense traffic (EWMA gap << cap): the expected time for the
+///    remaining MaxBatch-1 slots to fill is (MaxBatch-1) x EWMA — wait
+///    exactly that (plus nothing), not the whole cap;
+///  * sparse traffic (EWMA gap > cap): no batch-mate is expected inside
+///    any permissible wait, so don't linger at all — a lone request
+///    passes through with zero added latency;
+///  * cold start (no gap observed yet): fall back to the configured cap,
+///    exactly the fixed-linger behavior.
+///
+/// The configured BatchLingerMicros stays authoritative as an upper
+/// bound in every case. Time is injected as integer microsecond ticks,
+/// so the unit test drives the controller with a synthetic clock and
+/// asserts exact outputs (tests/serve/ServeTest.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DC_SERVE_ADAPTIVELINGER_H
+#define DC_SERVE_ADAPTIVELINGER_H
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace dc::serve {
+
+class AdaptiveLingerController {
+public:
+  /// \p Alpha is the EWMA smoothing factor in (0, 1] — higher adapts
+  /// faster, lower rides out bursts. The linger cap is passed per
+  /// window (lingerMicros) because per-domain overrides change it from
+  /// one collection window to the next.
+  explicit AdaptiveLingerController(double Alpha = 0.2) : Alpha(Alpha) {}
+
+  /// Feeds one arrival (admission) timestamp in microseconds. Ticks must
+  /// be monotone non-decreasing; the first tick only seeds the reference
+  /// point. Zero gaps are real (two admissions inside one tick) and pull
+  /// the average down like any other sample.
+  void noteArrival(int64_t NowMicros) {
+    if (HaveLast) {
+      double Gap = static_cast<double>(NowMicros - LastMicros);
+      EwmaGap = HaveEwma ? Alpha * Gap + (1 - Alpha) * EwmaGap : Gap;
+      HaveEwma = true;
+    }
+    LastMicros = NowMicros;
+    HaveLast = true;
+  }
+
+  /// The wait budget for one collection window that already holds the
+  /// head request and wants \p MaxBatch - 1 more, bounded by the
+  /// window's configured cap. Always in [0, CapMicros].
+  long lingerMicros(int MaxBatch, long CapMicros) const {
+    if (CapMicros <= 0 || MaxBatch <= 1)
+      return 0;
+    if (!HaveEwma)
+      return CapMicros; // cold start: behave exactly like fixed linger
+    if (EwmaGap > static_cast<double>(CapMicros))
+      return 0; // sparse: no mate expected inside any permissible wait
+    double Want = std::ceil(EwmaGap * (MaxBatch - 1));
+    return std::min(CapMicros, static_cast<long>(Want));
+  }
+
+  /// Current average inter-arrival gap in microseconds; 0 until two
+  /// arrivals have been observed (stats surfacing).
+  double ewmaGapMicros() const { return HaveEwma ? EwmaGap : 0; }
+
+private:
+  double Alpha;
+  double EwmaGap = 0;
+  int64_t LastMicros = 0;
+  bool HaveLast = false;
+  bool HaveEwma = false;
+};
+
+} // namespace dc::serve
+
+#endif // DC_SERVE_ADAPTIVELINGER_H

@@ -2,6 +2,8 @@
 
 #include "serve/Server.h"
 
+#include "serve/AdaptiveLinger.h"
+
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 
@@ -541,6 +543,16 @@ long Server::effectiveLingerMicros(const Service &Svc) const {
 }
 
 void Server::collectorLoop() {
+  // Arrival-rate estimator for adaptive linger: fed with the *admission*
+  // timestamp of every request this thread sees, so collector
+  // scheduling jitter does not contaminate the inter-arrival signal.
+  // Collector-private — no locking.
+  AdaptiveLingerController Arrivals;
+  auto AdmittedMicros = [](const Pending &P) {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               P.Admitted.time_since_epoch())
+        .count();
+  };
   while (std::optional<Pending> Head = Queue->pop()) {
     Clock::time_point CollectStart = Clock::now();
     std::vector<Pending> Batch;
@@ -549,7 +561,17 @@ void Server::collectorLoop() {
     // its own domain's linger, and a MaxBatch-1 domain's requests pass
     // through with no linger at all.
     const int HeadMax = effectiveMaxBatch(*Head->Svc);
-    const long LingerUs = effectiveLingerMicros(*Head->Svc);
+    long LingerUs = effectiveLingerMicros(*Head->Svc);
+    if (Config.AdaptiveLinger) {
+      Arrivals.noteArrival(AdmittedMicros(*Head));
+      LingerUs = Arrivals.lingerMicros(HeadMax, LingerUs);
+      EwmaArrivalGapUs.store(
+          static_cast<long>(Arrivals.ewmaGapMicros()),
+          std::memory_order_relaxed);
+      LastLingerUs.store(LingerUs, std::memory_order_relaxed);
+      obs::observe("serve.adaptive_linger_us",
+                   static_cast<double>(LingerUs));
+    }
     Batch.push_back(std::move(*Head));
     if (HeadMax > 1 && LingerUs > 0) {
       obs::ScopedSpan CollectSpan("serve.batch.collect");
@@ -561,6 +583,9 @@ void Server::collectorLoop() {
           break; // linger expired, or closed and drained
         Batch.push_back(std::move(*Next));
       }
+      if (Config.AdaptiveLinger)
+        for (size_t I = 1; I < Batch.size(); ++I)
+          Arrivals.noteArrival(AdmittedMicros(Batch[I]));
     }
     obs::observe("recog.batch.size",
                  static_cast<double>(Batch.size()));
@@ -720,6 +745,8 @@ ServerStats Server::stats() const {
   S.Reloads = Reloads.load(std::memory_order_relaxed);
   S.FailedReloads = FailedReloads.load(std::memory_order_relaxed);
   S.BatchedPredicts = BatchedPredicts.load(std::memory_order_relaxed);
+  S.EwmaArrivalGapUs = EwmaArrivalGapUs.load(std::memory_order_relaxed);
+  S.LastLingerUs = LastLingerUs.load(std::memory_order_relaxed);
   S.QueueDepth = Queue->depth();
   S.DispatchDepth = Dispatch ? Dispatch->depth() : 0;
   S.Connections = OpenConnections.load(std::memory_order_relaxed);
@@ -750,6 +777,10 @@ Json Server::buildStats() const {
   R.set("workers", Json::integer(Config.Workers));
   R.set("max_batch", Json::integer(Config.MaxBatch));
   R.set("batched_predicts", Json::integer(S.BatchedPredicts));
+  if (Config.AdaptiveLinger) {
+    R.set("ewma_arrival_gap_us", Json::integer(S.EwmaArrivalGapUs));
+    R.set("last_linger_us", Json::integer(S.LastLingerUs));
+  }
   R.set("dispatch_depth",
         Json::integer(static_cast<long long>(S.DispatchDepth)));
   R.set("shutting_down", Json::boolean(shuttingDown()));

@@ -89,6 +89,14 @@ struct ServerConfig {
   /// ServiceConfig overrides refine both knobs.
   int MaxBatch = 1;
   long BatchLingerMicros = 2000; ///< max extra wait for batch-mates
+  /// Size each collection window's wait from the observed request
+  /// arrival rate (EWMA of admission inter-arrival gaps; see
+  /// serve/AdaptiveLinger.h) instead of always spending the full
+  /// BatchLingerMicros. The configured linger stays authoritative as
+  /// the per-window ceiling; dense traffic waits only as long as the
+  /// remaining batch slots are expected to take to fill, and sparse
+  /// traffic passes straight through.
+  bool AdaptiveLinger = false;
   /// Reject lines longer than this before parsing (a malformed or
   /// malicious client cannot balloon reader memory).
   size_t MaxLineBytes = 1 << 20;
@@ -106,6 +114,11 @@ struct ServerStats {
   long Reloads = 0;       ///< successful epoch swaps
   long FailedReloads = 0; ///< reload_failed responses
   long BatchedPredicts = 0; ///< predictBatch calls by the collector
+  /// Adaptive linger only: EWMA inter-arrival gap and the last window's
+  /// computed wait, both in microseconds (0 when adaptive linger is off
+  /// or before two admissions have been observed).
+  long EwmaArrivalGapUs = 0;
+  long LastLingerUs = 0;
   size_t QueueDepth = 0;
   size_t DispatchDepth = 0; ///< collector → worker queue (batching only)
   int Connections = 0;
@@ -224,6 +237,8 @@ private:
   std::atomic<long> Accepted{0}, Rejected{0}, Solved{0}, NoSolution{0},
       Timeouts{0}, BadRequests{0}, Reloads{0}, FailedReloads{0},
       BatchedPredicts{0};
+  /// Published by the collector when adaptive linger is on (ServerStats).
+  std::atomic<long> EwmaArrivalGapUs{0}, LastLingerUs{0};
   std::atomic<int> OpenConnections{0};
 
   /// (domain, epoch) -> outcome counters; ordered so the stats endpoint

@@ -6,6 +6,7 @@
 #include "core/ThreadPool.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "vs/TopDown.h"
 #include "vs/VersionSpace.h"
 #include "vs/VersionSpaceCache.h"
 
@@ -13,6 +14,7 @@
 #include <cmath>
 #include <cstdarg>
 #include <cstdio>
+#include <functional>
 #include <limits>
 #include <set>
 #include <unordered_map>
@@ -35,9 +37,12 @@ double logSumExp(const std::vector<double> &Xs) {
   return M + std::log(S);
 }
 
+} // namespace
+
 /// Collects the distinct free de Bruijn indices of \p E (relative to its
 /// root), ascending.
-void collectFreeIndices(ExprPtr E, int Depth, std::set<int> &Out) {
+void dc::detail::collectFreeIndices(ExprPtr E, int Depth,
+                                    std::set<int> &Out) {
   switch (E->kind()) {
   case ExprKind::Index:
     if (E->index() >= Depth)
@@ -57,8 +62,9 @@ void collectFreeIndices(ExprPtr E, int Depth, std::set<int> &Out) {
 }
 
 /// True when \p Body is worth turning into a library routine: closed,
-/// well-typed, and structurally non-trivial.
-bool isUsefulInventionBody(ExprPtr Body, const Grammar &G) {
+/// well-typed, and structurally non-trivial. Shared by both proposal
+/// backends (vs/TopDown.cpp applies the identical admission filter).
+bool dc::detail::isUsefulInventionBody(ExprPtr Body, const Grammar &G) {
   if (!Body || !Body->isClosed())
     return false;
   if (Body->isIndex() || Body->isPrimitive() || Body->isInvented())
@@ -105,6 +111,8 @@ bool isUsefulInventionBody(ExprPtr Body, const Grammar &G) {
   return true;
 }
 
+namespace {
+
 /// One proposed library routine.
 struct Candidate {
   VsId Space = -1;          ///< anchor node rewrites fire at
@@ -130,6 +138,82 @@ void appendf(std::string &Out, const char *Fmt, ...) {
   std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
   va_end(Args);
   Out += Buf;
+}
+
+/// One backend-agnostic candidate for a greedy round: the invention plus
+/// a hook that rewrites every frontier entry under it. The hook runs
+/// inside a scoring worker (one per candidate), so it must only touch
+/// the frontiers it is handed and per-candidate state it owns.
+struct RoundCandidate {
+  ExprPtr Invention = nullptr;
+  int TasksCovered = 0;
+  std::function<void(std::vector<Frontier> &Rewritten, size_t CI,
+                     std::string &VerboseLog)>
+      RewriteFrontiers;
+};
+
+/// The shared scoring/adoption half of a greedy round, identical for
+/// both proposal backends by construction: score each candidate in
+/// parallel by rewriting all beams under D ∪ {invention} and evaluating
+/// libraryScore, then adopt the best improving candidate (ties toward
+/// the lowest candidate index — exactly the order a serial loop would
+/// visit). Candidates are independent: each worker copies the grammar
+/// and frontiers and writes score + rewrite into its own slot; verbose
+/// output is buffered per candidate and replayed in order. Returns true
+/// when a candidate was adopted into \p Result.
+bool scoreAndAdoptBest(CompressionResult &Result,
+                       const std::vector<RoundCandidate> &Candidates,
+                       const CompressionParams &Params) {
+  obs::ScopedSpan ScoreSpan("compress.score");
+  struct ScoredCandidate {
+    double Score = NegInf;
+    std::vector<Frontier> Rewritten;
+    Grammar Extended;
+    std::string VerboseLog;
+  };
+  std::vector<ScoredCandidate> Scored(Candidates.size());
+  CompressionParams InnerParams = Params;
+  InnerParams.NumThreads = 1; // summaries stay serial inside workers
+  parallelFor(Params.NumThreads, Candidates.size(), [&](size_t CI) {
+    obs::ScopedSpan CandidateSpan("compress.score.candidate");
+    const RoundCandidate &C = Candidates[CI];
+    ScoredCandidate &S = Scored[CI];
+    S.Extended = Result.NewGrammar;
+    S.Extended.addProduction(C.Invention);
+    S.Rewritten = Result.RewrittenFrontiers;
+    C.RewriteFrontiers(S.Rewritten, CI, S.VerboseLog);
+    S.Score = libraryScore(S.Extended, S.Rewritten, InnerParams);
+    obs::countAdd("compress.candidates_scored");
+    if (Params.Verbose && CI < 12)
+      appendf(S.VerboseLog, "  cand[%zu] %-40s cover=%d score=%.2f%s\n",
+              CI, C.Invention->show().c_str(), C.TasksCovered, S.Score,
+              S.Score > Result.FinalScore ? " (+)" : "");
+  });
+
+  // Deterministic reduction: best score, lowest candidate index on ties.
+  double BestScore = Result.FinalScore;
+  int BestIdx = -1;
+  for (size_t CI = 0; CI < Scored.size(); ++CI) {
+    if (Params.Verbose && !Scored[CI].VerboseLog.empty())
+      std::fputs(Scored[CI].VerboseLog.c_str(), stderr);
+    if (Scored[CI].Score > BestScore) {
+      BestScore = Scored[CI].Score;
+      BestIdx = static_cast<int>(CI);
+    }
+  }
+
+  if (BestIdx < 0)
+    return false; // no candidate improves the objective
+  if (Params.Verbose)
+    std::fprintf(stderr, "compression: +%s (score %.2f -> %.2f)\n",
+                 Candidates[BestIdx].Invention->show().c_str(),
+                 Result.FinalScore, BestScore);
+  Result.NewGrammar = std::move(Scored[BestIdx].Extended);
+  Result.RewrittenFrontiers = std::move(Scored[BestIdx].Rewritten);
+  Result.NewInventions.push_back(Candidates[BestIdx].Invention);
+  Result.FinalScore = BestScore;
+  obs::countAdd("compress.inventions_adopted");
+  return true;
 }
 
 } // namespace
@@ -237,18 +321,13 @@ double dc::libraryScore(Grammar &G, const std::vector<Frontier> &Frontiers,
   return Score;
 }
 
-CompressionResult
-dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
-                    const CompressionParams &Params) {
-  obs::ScopedSpan CompressSpan("compress");
-  CompressionResult Result;
-  Result.NewGrammar = G;
-  Result.RewrittenFrontiers = Frontiers;
-  Result.InitialScore = libraryScore(Result.NewGrammar,
-                                     Result.RewrittenFrontiers, Params);
-  Result.FinalScore = Result.InitialScore;
-  obs::gaugeSet("compress.score_initial", Result.InitialScore);
+namespace {
 
+/// The version-space backend's greedy rounds: per-program β-closure
+/// shards, coverage ranking, proposal validation, then the shared
+/// scoring/adoption round.
+void runVersionSpaceRounds(CompressionResult &Result,
+                           const CompressionParams &Params) {
   // The content-addressed shard cache (cross-frontier and cross-round
   // closure reuse) and the cross-round rewrite memo share one escape
   // hatch: with UseVsCache off every pure value is recomputed from
@@ -512,13 +591,13 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
         // invention and apply the invention back to them at rewrite
         // sites.
         std::set<int> FreeSet;
-        collectFreeIndices(Term, 0, FreeSet);
+        detail::collectFreeIndices(Term, 0, FreeSet);
         if (FreeSet.size() > 2)
           return; // cap invention arity growth from free variables
         std::vector<int> Free(FreeSet.begin(), FreeSet.end());
         ExprPtr Body =
             Free.empty() ? Term : detail::closeOverFreeIndices(Term, Free);
-        if (!isUsefulInventionBody(Body, Result.NewGrammar))
+        if (!detail::isUsefulInventionBody(Body, Result.NewGrammar))
           return;
         Proposals[K] = {Term, Body, std::move(Free)};
       });
@@ -562,22 +641,7 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
     }
     if (Candidates.empty())
       break;
-    obs::ScopedSpan ScoreSpan("compress.score");
 
-    // Score each candidate by rewriting all beams under D ∪ {invention}.
-    // Candidates are independent: each worker copies the grammar and the
-    // frontiers, rewrites against the read-only table/shared cache with a
-    // private overlay, and writes score + rewrite into its own slot.
-    // Verbose output is buffered per candidate and replayed in order.
-    struct ScoredCandidate {
-      double Score = NegInf;
-      std::vector<Frontier> Rewritten;
-      Grammar Extended;
-      std::string VerboseLog;
-    };
-    std::vector<ScoredCandidate> Scored(Candidates.size());
-    CompressionParams InnerParams = Params;
-    InnerParams.NumThreads = 1; // summaries stay serial inside workers
     // Hand each candidate its rewrite-memo sub-map up front, serially:
     // anchors are unique within a round (admission dedups bodies, and the
     // body determines the anchor), so no two workers share a sub-map and
@@ -594,91 +658,204 @@ dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
              "candidate anchors must be unique within a round");
     }
 #endif
-    parallelFor(Params.NumThreads, Candidates.size(), [&](size_t CI) {
-      obs::ScopedSpan CandidateSpan("compress.score.candidate");
-      const Candidate &C = Candidates[CI];
-      ScoredCandidate &S = Scored[CI];
-      S.Extended = Result.NewGrammar;
-      S.Extended.addProduction(C.Invention);
-
-      S.Rewritten = Result.RewrittenFrontiers;
-      std::vector<char> Cone = VT.coneAbove(C.Space);
-      std::unordered_map<VsId, Extraction> Overlay;
+    // Package the candidates for the shared scoring round: the rewrite
+    // hook runs inside a scoring worker, against the read-only
+    // table/shared cache with a private overlay.
+    std::vector<RoundCandidate> RoundCands;
+    RoundCands.reserve(Candidates.size());
+    for (size_t CI = 0; CI < Candidates.size(); ++CI) {
+      const Candidate C = Candidates[CI];
       std::unordered_map<ExprPtr, ExprPtr> *Memo = Memos[CI];
-      for (size_t X = 0; X < S.Rewritten.size(); ++X) {
-        auto &Entries = S.Rewritten[X].entries();
-        for (size_t I = 0; I < Entries.size(); ++I) {
-          const ExprPtr Before = Entries[I].Program;
-          if (Memo) {
-            auto It = Memo->find(Before);
-            if (It != Memo->end()) {
-              // Replay from a previous round. Identical to recomputing:
-              // the value is a pure function of (anchor term, beam
-              // program, Steps), and a beam the last adoption rewrote
-              // arrives here as a different program — an automatic miss.
-              Entries[I].Program = It->second;
-              obs::countAdd("vs_cache.rewrite.hits");
-              continue;
-            }
-            obs::countAdd("vs_cache.rewrite.misses");
-          }
-          // The extracted member may be a refactoring with explicit
-          // β-redexes, e.g. ((λ (map $0 xs)) #invention); normalize so the
-          // grammar can score it. Inventions are atomic and survive. A
-          // null extraction or null normal form (step budget exhausted)
-          // keeps the original beam entry.
-          ExprPtr After = Before;
-          Extraction E = VT.extractWithCandidate(
-              Closures[X][I], C.Space, C.RewriteExpr, Cone, SharedCache,
-              Overlay);
-          if (E.Program) {
-            ExprPtr Normal = E.Program->betaNormalForm(512);
-            if (Normal) {
-              if (Params.Verbose && Normal != Before && CI < 3)
-                appendf(S.VerboseLog, "    rewrite[%zu] %s => %s\n", CI,
-                        Before->show().c_str(), Normal->show().c_str());
-              if (Normal->inferType())
-                After = Normal;
-            }
-          }
-          Entries[I].Program = After;
-          if (Memo)
-            Memo->emplace(Before, After);
-        }
-      }
-      S.Score = libraryScore(S.Extended, S.Rewritten, InnerParams);
-      obs::countAdd("compress.candidates_scored");
-      if (Params.Verbose && CI < 12)
-        appendf(S.VerboseLog, "  cand[%zu] %-40s cover=%d score=%.2f%s\n",
-                CI, C.Invention->show().c_str(), C.TasksCovered, S.Score,
-                S.Score > Result.FinalScore ? " (+)" : "");
-    });
-
-    // Deterministic reduction: best score, lowest candidate index on ties
-    // — exactly the order the serial loop visited candidates in.
-    double BestScore = Result.FinalScore;
-    int BestIdx = -1;
-    for (size_t CI = 0; CI < Scored.size(); ++CI) {
-      if (Params.Verbose && !Scored[CI].VerboseLog.empty())
-        std::fputs(Scored[CI].VerboseLog.c_str(), stderr);
-      if (Scored[CI].Score > BestScore) {
-        BestScore = Scored[CI].Score;
-        BestIdx = static_cast<int>(CI);
-      }
+      RoundCands.push_back(
+          {C.Invention, C.TasksCovered,
+           [C, Memo, &VT, &Closures, &SharedCache,
+            &Params](std::vector<Frontier> &Rewritten, size_t RoundCI,
+                     std::string &Log) {
+             std::vector<char> Cone = VT.coneAbove(C.Space);
+             std::unordered_map<VsId, Extraction> Overlay;
+             for (size_t X = 0; X < Rewritten.size(); ++X) {
+               auto &Entries = Rewritten[X].entries();
+               for (size_t I = 0; I < Entries.size(); ++I) {
+                 const ExprPtr Before = Entries[I].Program;
+                 if (Memo) {
+                   auto It = Memo->find(Before);
+                   if (It != Memo->end()) {
+                     // Replay from a previous round. Identical to
+                     // recomputing: the value is a pure function of
+                     // (anchor term, beam program, Steps), and a beam the
+                     // last adoption rewrote arrives here as a different
+                     // program — an automatic miss.
+                     Entries[I].Program = It->second;
+                     obs::countAdd("vs_cache.rewrite.hits");
+                     continue;
+                   }
+                   obs::countAdd("vs_cache.rewrite.misses");
+                 }
+                 // The extracted member may be a refactoring with
+                 // explicit β-redexes, e.g. ((λ (map $0 xs)) #invention);
+                 // normalize so the grammar can score it. Inventions are
+                 // atomic and survive. A null extraction or null normal
+                 // form (step budget exhausted) keeps the original entry.
+                 ExprPtr After = Before;
+                 Extraction E = VT.extractWithCandidate(
+                     Closures[X][I], C.Space, C.RewriteExpr, Cone,
+                     SharedCache, Overlay);
+                 if (E.Program) {
+                   ExprPtr Normal = E.Program->betaNormalForm(512);
+                   if (Normal) {
+                     if (Params.Verbose && Normal != Before && RoundCI < 3)
+                       appendf(Log, "    rewrite[%zu] %s => %s\n", RoundCI,
+                               Before->show().c_str(),
+                               Normal->show().c_str());
+                     if (Normal->inferType())
+                       After = Normal;
+                   }
+                 }
+                 Entries[I].Program = After;
+                 if (Memo)
+                   Memo->emplace(Before, After);
+               }
+             }
+           }});
     }
-
-    if (BestIdx < 0)
-      break; // no candidate improves the objective
-    if (Params.Verbose)
-      std::fprintf(stderr, "compression: +%s (score %.2f -> %.2f)\n",
-                   Candidates[BestIdx].Invention->show().c_str(),
-                   Result.FinalScore, BestScore);
-    Result.NewGrammar = std::move(Scored[BestIdx].Extended);
-    Result.RewrittenFrontiers = std::move(Scored[BestIdx].Rewritten);
-    Result.NewInventions.push_back(Candidates[BestIdx].Invention);
-    Result.FinalScore = BestScore;
-    obs::countAdd("compress.inventions_adopted");
+    if (!scoreAndAdoptBest(Result, RoundCands, Params))
+      break;
   }
+}
+
+/// The top-down backend's greedy rounds: corpus-guided proposal
+/// (vs/TopDown.cpp) feeding the identical scoring/adoption round. No
+/// version spaces are built; beams are rewritten by the extraction-cost
+/// DP over their syntax trees. The cross-round rewrite memo mirrors the
+/// version-space backend's, except it never needs invalidating: the DP
+/// has no inversion-depth dependence, so (anchor term, beam program)
+/// determines the rewritten entry outright.
+void runTopDownRounds(CompressionResult &Result,
+                      const CompressionParams &Params) {
+  std::unordered_map<ExprPtr, std::unordered_map<ExprPtr, ExprPtr>>
+      RewriteMemo;
+
+  for (int Round = 0; Round < Params.MaxNewInventions; ++Round) {
+    obs::countAdd("compress.rounds");
+    int64_t ProposeStart =
+        obs::Telemetry::enabled() ? obs::Tracer::global().begin() : 0;
+    TopDownStats Stats;
+    std::vector<TopDownCandidate> Candidates = proposeTopDown(
+        Result.NewGrammar, Result.RewrittenFrontiers, Params, &Stats);
+    if (obs::Telemetry::enabled()) {
+      obs::Tracer::global().end("topdown.propose", ProposeStart);
+      obs::countAdd("topdown.subtree_sites", Stats.SubtreeSites);
+      obs::countAdd("topdown.states_expanded", Stats.StatesExpanded);
+      obs::countAdd("topdown.states_pruned", Stats.StatesPruned);
+      obs::countAdd("topdown.completions", Stats.Completions);
+      obs::countAdd("topdown.candidates_proposed",
+                    Stats.CandidatesProposed);
+      if (Stats.BudgetExhausted)
+        obs::countAdd("topdown.budget_exhausted");
+      obs::countAdd("compress.candidates_proposed",
+                    static_cast<long>(Candidates.size()));
+      for (const TopDownCandidate &C : Candidates)
+        obs::observe("compress.candidate_coverage", C.TasksCovered);
+    }
+    if (Params.Verbose)
+      std::fprintf(stderr,
+                   "compression round %d (top-down): %ld sites, "
+                   "%ld states, %zu candidates, baseline %.2f\n",
+                   Round, Stats.SubtreeSites, Stats.StatesExpanded,
+                   Candidates.size(), Result.FinalScore);
+    if (Candidates.empty())
+      break;
+
+    // Same per-candidate memo discipline as the version-space round:
+    // surviving candidates have distinct bodies, distinct bodies have
+    // distinct anchors, so the sub-maps are worker-exclusive.
+    std::vector<std::unordered_map<ExprPtr, ExprPtr> *> Memos(
+        Candidates.size(), nullptr);
+    if (Params.UseVsCache)
+      for (size_t CI = 0; CI < Candidates.size(); ++CI)
+        Memos[CI] = &RewriteMemo[Candidates[CI].AnchorTerm];
+#ifndef NDEBUG
+    {
+      std::set<const void *> Distinct(Memos.begin(), Memos.end());
+      assert((!Params.UseVsCache || Distinct.size() == Memos.size()) &&
+             "candidate anchors must be unique within a round");
+    }
+#endif
+    std::vector<RoundCandidate> RoundCands;
+    RoundCands.reserve(Candidates.size());
+    for (size_t CI = 0; CI < Candidates.size(); ++CI) {
+      const TopDownCandidate C = Candidates[CI];
+      std::unordered_map<ExprPtr, ExprPtr> *Memo = Memos[CI];
+      RoundCands.push_back(
+          {C.Invention, C.TasksCovered,
+           [C, Memo, &Params](std::vector<Frontier> &Rewritten,
+                              size_t RoundCI, std::string &Log) {
+             // Node-level DP memo, shared across the beams of this
+             // candidate (costs are depth-independent).
+             std::unordered_map<ExprPtr, TopDownRewrite> NodeMemo;
+             for (Frontier &F : Rewritten) {
+               auto &Entries = F.entries();
+               for (size_t I = 0; I < Entries.size(); ++I) {
+                 const ExprPtr Before = Entries[I].Program;
+                 if (Memo) {
+                   auto It = Memo->find(Before);
+                   if (It != Memo->end()) {
+                     Entries[I].Program = It->second;
+                     obs::countAdd("topdown.rewrite.hits");
+                     continue;
+                   }
+                   obs::countAdd("topdown.rewrite.misses");
+                 }
+                 // Identical post-processing to the version-space
+                 // rewrite: β-normalize the member, keep it only if it
+                 // stays typeable, fall back to the original otherwise.
+                 ExprPtr After = Before;
+                 TopDownRewrite R =
+                     topDownRewriteMember(Before, C, NodeMemo);
+                 if (R.Member) {
+                   ExprPtr Normal = R.Member->betaNormalForm(512);
+                   if (Normal) {
+                     if (Params.Verbose && Normal != Before && RoundCI < 3)
+                       appendf(Log, "    rewrite[%zu] %s => %s\n", RoundCI,
+                               Before->show().c_str(),
+                               Normal->show().c_str());
+                     if (Normal->inferType())
+                       After = Normal;
+                   }
+                 }
+                 Entries[I].Program = After;
+                 if (Memo)
+                   Memo->emplace(Before, After);
+               }
+             }
+           }});
+    }
+    if (!scoreAndAdoptBest(Result, RoundCands, Params))
+      break;
+  }
+}
+
+} // namespace
+
+CompressionResult
+dc::compressLibrary(const Grammar &G, const std::vector<Frontier> &Frontiers,
+                    const CompressionParams &Params) {
+  obs::ScopedSpan CompressSpan("compress");
+  CompressionResult Result;
+  Result.NewGrammar = G;
+  Result.RewrittenFrontiers = Frontiers;
+  Result.InitialScore = libraryScore(Result.NewGrammar,
+                                     Result.RewrittenFrontiers, Params);
+  Result.FinalScore = Result.InitialScore;
+  obs::gaugeSet("compress.score_initial", Result.InitialScore);
+  obs::gaugeSet("compress.backend",
+                Params.Backend == CompressionBackend::TopDown ? 1 : 0);
+
+  if (Params.Backend == CompressionBackend::TopDown)
+    runTopDownRounds(Result, Params);
+  else
+    runVersionSpaceRounds(Result, Params);
+
   obs::gaugeSet("compress.score_final", Result.FinalScore);
 
   // Re-anchor frontier priors to the final grammar.

@@ -29,12 +29,30 @@
 #include "core/Grammar.h"
 #include "core/Task.h"
 
+#include <set>
 #include <vector>
 
 namespace dc {
 
+/// Which candidate-proposal engine abstraction sleep runs (DESIGN.md §10).
+/// Both backends feed the same libraryScore/adoption machinery and share
+/// the determinism contract; they differ only in how candidates are found
+/// and how beams are rewritten under a candidate:
+///
+///  * VersionSpace — materialize the ≤n-step β-inversion closure of every
+///    beam program (paper §4) and rank its nodes. Complete up to the
+///    inversion depth, but the closure is exactly what the
+///    MaxVersionNodes degrade ladder exists to contain.
+///  * TopDown — grow candidate patterns hole-by-hole over the beam syntax
+///    (corpus-guided, à la "Top-Down Synthesis for Library Learning",
+///    Bowers et al., POPL 2023), never building version spaces. Orders of
+///    magnitude cheaper on closure-heavy corpora; proposes literal common
+///    subtrees plus single-variable capture patterns.
+enum class CompressionBackend { VersionSpace, TopDown };
+
 /// Knobs for one abstraction-sleep phase.
 struct CompressionParams {
+  CompressionBackend Backend = CompressionBackend::VersionSpace;
   int RefactorSteps = 3;      ///< n in Iβn (paper uses 3); 0 = EC baseline
   double StructurePenalty = 0.5; ///< λ in log P[D] ∝ -λ Σ size(routine)
   double AicWeight = 0.5;     ///< weight of the |θ|₀ model-size penalty
@@ -58,6 +76,12 @@ struct CompressionParams {
   /// LRU node budget of the process-wide shard cache (total nodes across
   /// cached shards; see VersionSpaceCache::DefaultNodeBudget).
   size_t VsCacheNodeBudget = 16u * 1024 * 1024;
+  /// TopDown backend only: cap on pattern states expanded per proposal
+  /// round before the proposer stops refining (branch-and-bound still
+  /// prunes below the cap). Literal-subtree candidates are enumerated
+  /// outside this budget, so exhaustion degrades recall of capture
+  /// patterns, never of common subtrees.
+  int TopDownExpansionBudget = 100000;
   bool Verbose = false;
 };
 
@@ -94,6 +118,18 @@ namespace detail {
 /// miscapture the invention body); callers skip such candidates. Exposed
 /// for tests.
 ExprPtr closeOverFreeIndices(ExprPtr Term, const std::vector<int> &Free);
+
+/// Collects the distinct free de Bruijn indices of \p E relative to its
+/// root (\p Depth binders already crossed), ascending. Shared by both
+/// proposal backends so a term closes over the same variable set either
+/// way.
+void collectFreeIndices(ExprPtr E, int Depth, std::set<int> &Out);
+
+/// The shared "nontrivial routine" admission test (see Compression.cpp):
+/// closed, well-typed, ≥2 primitives (or one plus a duplicated variable),
+/// and not already a production of \p G. Both backends must apply the
+/// identical filter or their candidate sets drift apart.
+bool isUsefulInventionBody(ExprPtr Body, const Grammar &G);
 
 } // namespace detail
 

@@ -11,10 +11,9 @@ using namespace dc;
 
 namespace {
 constexpr double Infinity = std::numeric_limits<double>::infinity();
-/// Cost of an internal (application/abstraction) node during extraction;
-/// leaves cost 1, so extraction minimizes leaf count with ties broken
-/// toward shallower trees.
-constexpr double EpsilonCost = 0.01;
+// The internal-node cost lives in VersionSpace.h (ExtractionEpsilonCost)
+// so the top-down rewriter prices members on the same scale.
+constexpr double EpsilonCost = dc::ExtractionEpsilonCost;
 
 /// True when \p E improves on \p Best under the extraction order: strictly
 /// cheaper, or equal cost and structurally smaller (exprCompare). Breaking

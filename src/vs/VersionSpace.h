@@ -55,6 +55,13 @@ struct VsNode {
   std::vector<VsId> Members; ///< Union nodes (sorted, deduplicated)
 };
 
+/// Cost of an internal (application/abstraction) node during extraction;
+/// leaves cost 1, so extraction minimizes leaf count with ties broken
+/// toward shallower trees. Shared with the top-down rewriter
+/// (vs/TopDown.h), which must price members on exactly this scale to
+/// reproduce version-space extraction choices bit-for-bit.
+constexpr double ExtractionEpsilonCost = 0.01;
+
 /// Result of minimal-cost extraction (paper Fig 5A).
 struct Extraction {
   double Cost = 0;

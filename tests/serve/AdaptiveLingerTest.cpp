@@ -1,0 +1,119 @@
+//===- tests/serve/AdaptiveLingerTest.cpp - Arrival-rate linger sizing ----===//
+//
+// Deterministic unit tests for the adaptive batch-linger controller
+// (serve/AdaptiveLinger.h): time is injected as integer microsecond
+// ticks, so every EWMA update and every computed wait is an exact,
+// hand-checkable number — no sleeping, no real clock.
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/AdaptiveLinger.h"
+
+#include <gtest/gtest.h>
+
+using dc::serve::AdaptiveLingerController;
+
+namespace {
+
+constexpr long Cap = 2000; // the configured --batch-linger-us ceiling
+
+TEST(AdaptiveLingerTest, ColdStartFallsBackToTheConfiguredCap) {
+  AdaptiveLingerController C;
+  // No arrivals at all, and a single arrival (no gap yet): both behave
+  // exactly like the fixed-linger configuration.
+  EXPECT_EQ(C.lingerMicros(8, Cap), Cap);
+  C.noteArrival(1000);
+  EXPECT_EQ(C.lingerMicros(8, Cap), Cap);
+  EXPECT_EQ(C.ewmaGapMicros(), 0.0);
+}
+
+TEST(AdaptiveLingerTest, DenseTrafficWaitsOnlyForTheExpectedFill) {
+  AdaptiveLingerController C(/*Alpha=*/0.2);
+  // Steady 100 us arrivals: the EWMA converges to 100 exactly (the first
+  // gap seeds it, identical samples keep it fixed).
+  for (int64_t T = 0; T <= 1000; T += 100)
+    C.noteArrival(T);
+  EXPECT_DOUBLE_EQ(C.ewmaGapMicros(), 100.0);
+  // Seven more mates wanted -> 700 us, far below the 2000 us cap.
+  EXPECT_EQ(C.lingerMicros(8, Cap), 700);
+  // A smaller batch asks for less.
+  EXPECT_EQ(C.lingerMicros(4, Cap), 300);
+  // The cap still binds when the batch is wide.
+  EXPECT_EQ(C.lingerMicros(64, Cap), Cap);
+}
+
+TEST(AdaptiveLingerTest, SparseTrafficPassesStraightThrough) {
+  AdaptiveLingerController C(/*Alpha=*/0.2);
+  // Gaps of 10 ms dwarf the 2 ms cap: no batch-mate can be expected
+  // inside any permissible wait, so the controller stops lingering.
+  C.noteArrival(0);
+  C.noteArrival(10000);
+  C.noteArrival(20000);
+  EXPECT_DOUBLE_EQ(C.ewmaGapMicros(), 10000.0);
+  EXPECT_EQ(C.lingerMicros(8, Cap), 0);
+}
+
+TEST(AdaptiveLingerTest, EwmaFollowsTheRecurrenceExactly) {
+  const double Alpha = 0.25;
+  AdaptiveLingerController C(Alpha);
+  const int64_t Ticks[] = {0, 500, 600, 2600, 2700, 2750};
+  double Expected = 0;
+  bool Seeded = false;
+  int64_t Last = 0;
+  bool HaveLast = false;
+  for (int64_t T : Ticks) {
+    C.noteArrival(T);
+    if (HaveLast) {
+      double Gap = static_cast<double>(T - Last);
+      Expected = Seeded ? Alpha * Gap + (1 - Alpha) * Expected : Gap;
+      Seeded = true;
+    }
+    Last = T;
+    HaveLast = true;
+    if (Seeded) {
+      EXPECT_DOUBLE_EQ(C.ewmaGapMicros(), Expected);
+    }
+  }
+  // The final wait is ceil(EWMA * (MaxBatch - 1)) clamped by the cap.
+  long Want = static_cast<long>(std::ceil(Expected * 7));
+  EXPECT_EQ(C.lingerMicros(8, Cap), std::min(Cap, Want));
+}
+
+TEST(AdaptiveLingerTest, RecoversAfterABurstFollowsSparsePeriod) {
+  AdaptiveLingerController C(/*Alpha=*/0.5);
+  // Sparse history pins the wait at zero...
+  C.noteArrival(0);
+  C.noteArrival(100000);
+  EXPECT_EQ(C.lingerMicros(8, Cap), 0);
+  // ... then a burst of back-to-back arrivals pulls the EWMA back under
+  // the cap within a few samples (alpha 0.5 halves it per arrival).
+  int64_t T = 100000;
+  for (int I = 0; I < 8; ++I)
+    C.noteArrival(T += 50);
+  EXPECT_LT(C.ewmaGapMicros(), static_cast<double>(Cap));
+  long L = C.lingerMicros(8, Cap);
+  EXPECT_GT(L, 0);
+  EXPECT_LE(L, Cap);
+}
+
+TEST(AdaptiveLingerTest, EdgeKnobsNeverLinger) {
+  AdaptiveLingerController C;
+  C.noteArrival(0);
+  C.noteArrival(100);
+  EXPECT_EQ(C.lingerMicros(1, Cap), 0) << "MaxBatch 1 never waits";
+  EXPECT_EQ(C.lingerMicros(8, 0), 0) << "zero cap never waits";
+  EXPECT_EQ(C.lingerMicros(8, -5), 0) << "negative cap never waits";
+}
+
+TEST(AdaptiveLingerTest, ZeroGapsAreRealSamples) {
+  AdaptiveLingerController C(/*Alpha=*/0.5);
+  // Two admissions on the same tick: a genuine zero gap that drags the
+  // average toward instant batching, not a division hazard.
+  C.noteArrival(0);
+  C.noteArrival(400);
+  C.noteArrival(400);
+  EXPECT_DOUBLE_EQ(C.ewmaGapMicros(), 200.0);
+  EXPECT_EQ(C.lingerMicros(3, Cap), 400);
+}
+
+} // namespace

@@ -262,6 +262,75 @@ TEST_F(VersionSpaceCacheTest, DegradeLadderMatchesUncachedAtEveryCap) {
   }
 }
 
+TEST_F(VersionSpaceCacheTest, DegradeLadderRecoversTheUncappedLibrary) {
+  // Regression for the MaxVersionNodes degrade ladder on a realistic
+  // overflow corpus: pipeline-shaped beams whose n=3 closures blow past
+  // the cap while the shallower depths still fit. The capped sleep must
+  // (a) reclaim every partial shard its overflowed attempts installed,
+  // and (b) still land on the same final library as the uncapped sleep —
+  // the winning idioms here are one-step inversions, so shallower
+  // refactoring depth loses nothing.
+  std::vector<Frontier> Fs = idiomCorpus();
+  TypePtr Req = Type::arrow(tList(tInt()), tList(tInt()));
+  Fs.push_back(solvedFrontier("compose",
+                              "(lambda (map (lambda (+ $0 $0)) "
+                              "(map (lambda (* $0 $0)) $0)))",
+                              Req));
+  Fs.push_back(solvedFrontier(
+      "clamp", "(lambda (map (lambda (if (> $0 0) $0 0)) $0))", Req));
+
+  // Pick the cap from measured shard sizes: at least the total n=2
+  // footprint (the merged n=2 table can never exceed the shard sum, so
+  // the degraded retry always fits) and below the largest n=3 shard (so
+  // the n=3 attempt always cancels on an oversized shard).
+  std::vector<ExprPtr> Programs = distinctPrograms(Fs);
+  size_t Sum2 = 0, Max3 = 0;
+  for (ExprPtr P : Programs) {
+    Sum2 += VsClosureShard::build(P, 2)->nodes();
+    Max3 = std::max(Max3, VsClosureShard::build(P, 3)->nodes());
+  }
+  ASSERT_LT(Sum2, Max3) << "corpus must overflow at n=3 yet fit at n=2";
+  const size_t Cap = Sum2;
+
+  CompressionParams Params;
+  Params.StructurePenalty = 0.5;
+  VersionSpaceCache &Cache = VersionSpaceCache::global();
+  Cache.clear();
+  CompressionResult Uncapped = compressLibrary(G, Fs, Params);
+  ASSERT_FALSE(Uncapped.NewInventions.empty());
+
+  Cache.clear();
+  Cache.resetStats();
+  Params.MaxVersionNodes = Cap;
+  CompressionResult Capped = compressLibrary(G, Fs, Params);
+  VersionSpaceCache::Stats S = Cache.stats();
+  EXPECT_GT(S.Evictions, 0)
+      << "the overflowed n=3 attempts must reclaim installed shards";
+  // No program whose n=3 shard exceeds the cap may keep an n=3 key:
+  // those entries can only be leftovers of a cancelled attempt. (Smaller
+  // programs may legitimately acquire n=3 keys in later rounds, once the
+  // adopted inventions have compressed the corpus under the cap.)
+  for (ExprPtr P : Programs) {
+    if (VsClosureShard::build(P, 3)->nodes() > Cap) {
+      EXPECT_EQ(Cache.lookup(P, 3), nullptr)
+          << "stale overflowed shard: " << P->show();
+    }
+  }
+
+  // (b) same final library as the uncapped run.
+  ASSERT_EQ(Capped.NewInventions.size(), Uncapped.NewInventions.size());
+  for (size_t I = 0; I < Capped.NewInventions.size(); ++I)
+    EXPECT_EQ(Capped.NewInventions[I], Uncapped.NewInventions[I])
+        << Capped.NewInventions[I]->show() << " vs "
+        << Uncapped.NewInventions[I]->show();
+
+  // And the degrade path leaks nothing into the cache: the capped cached
+  // run is bit-identical to the capped uncached run.
+  Params.UseVsCache = false;
+  expectIdenticalResults(compressLibrary(G, Fs, Params), Capped,
+                         "capped, cached vs uncached");
+}
+
 TEST_F(VersionSpaceCacheTest, SecondSleepHitsForUntouchedBeams) {
   // The steady-state payoff: a sleep over an unchanged corpus serves its
   // closures from the cache instead of rebuilding them.

@@ -42,7 +42,8 @@ void usage(const char *Argv0) {
       "          [--minibatch N] [--seed N] [--node-budget N]\n"
       "          [--threads N] [--wake-timeout SEC] [--checkpoint PATH]\n"
       "          [--resume PATH] [--metrics-out PATH] [--trace-out PATH]\n"
-      "          [--no-vs-cache] [--verbose]\n"
+      "          [--compression-backend vs|topdown] [--no-vs-cache]\n"
+      "          [--verbose]\n"
       "--threads: 0 = one per core (default), 1 = serial, N = at most N;\n"
       "           covers wake search, compression sleep, and dreaming —\n"
       "           results are identical at every setting\n"
@@ -52,6 +53,12 @@ void usage(const char *Argv0) {
       "           keeps results bit-identical across machines; any\n"
       "           positive value makes which windows finish depend on\n"
       "           machine speed\n"
+      "--compression-backend: candidate engine for abstraction sleep.\n"
+      "               vs (default) materializes β-inversion version\n"
+      "               spaces; topdown grows corpus-guided patterns\n"
+      "               hole-by-hole — much cheaper on closure-heavy\n"
+      "               corpora, same scoring and adoption machinery\n"
+      "               (DESIGN.md §10)\n"
       "--no-vs-cache: disable the version-space shard cache and rewrite\n"
       "               memo in abstraction sleep (escape hatch; results are\n"
       "               bit-identical either way, only wall-clock changes)\n"
@@ -151,7 +158,19 @@ int main(int Argc, char **Argv) {
       MetricsPath = Next();
     else if (!std::strcmp(Argv[I], "--trace-out"))
       TracePath = Next();
-    else if (!std::strcmp(Argv[I], "--no-vs-cache"))
+    else if (!std::strcmp(Argv[I], "--compression-backend")) {
+      std::string Backend = Next();
+      if (Backend == "vs")
+        Config.Compress.Backend = CompressionBackend::VersionSpace;
+      else if (Backend == "topdown")
+        Config.Compress.Backend = CompressionBackend::TopDown;
+      else {
+        std::fprintf(stderr, "error: unknown compression backend '%s'\n",
+                     Backend.c_str());
+        usage(Argv[0]);
+        return 2;
+      }
+    } else if (!std::strcmp(Argv[I], "--no-vs-cache"))
       Config.Compress.UseVsCache = false;
     else if (!std::strcmp(Argv[I], "--verbose"))
       Config.Verbose = true;

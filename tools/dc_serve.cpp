@@ -50,6 +50,7 @@ void usage(const char *Argv0) {
       "          [--port N] [--port-file PATH]\n"
       "          [--workers N] [--queue N] [--default-timeout-ms N]\n"
       "          [--max-batch N] [--batch-linger-us N]\n"
+      "          [--adaptive-linger]\n"
       "          [--metrics-out PATH] [--trace-out PATH] [--verbose]\n"
       "--domain:     may repeat to serve several domains from one\n"
       "              process; requests route by their \"domain\" field,\n"
@@ -76,6 +77,11 @@ void usage(const char *Argv0) {
       "--batch-linger-us: how long the collector waits for batch-mates\n"
       "              (default 2000); position-dependent like --max-batch.\n"
       "              A lone request is never delayed beyond this window\n"
+      "--adaptive-linger: size each batch wait from the observed arrival\n"
+      "              rate (EWMA of admission gaps) instead of always\n"
+      "              spending the full linger; the configured linger\n"
+      "              stays authoritative as the ceiling. Sparse traffic\n"
+      "              passes straight through with zero added latency\n"
       "signals: SIGHUP reloads every domain's checkpoint+model from disk\n"
       "         and atomically publishes the new library epoch (nothing\n"
       "         in flight is dropped); SIGTERM/SIGINT drain and exit 0\n"
@@ -170,7 +176,8 @@ int main(int Argc, char **Argv) {
         SrvConfig.BatchLingerMicros = V;
       else
         Domains.back().BatchLingerMicros = V;
-    }
+    } else if (!std::strcmp(Argv[I], "--adaptive-linger"))
+      SrvConfig.AdaptiveLinger = true;
     else if (!std::strcmp(Argv[I], "--metrics-out"))
       MetricsPath = Next();
     else if (!std::strcmp(Argv[I], "--trace-out"))
